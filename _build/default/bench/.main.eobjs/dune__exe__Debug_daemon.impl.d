@@ -1,0 +1,1 @@
+bench/debug_daemon.ml: Array Bfs_builder Format Generators Mst_builder Option Queue Random Repro_core Repro_graph Repro_runtime Scheduler Sys

@@ -1,0 +1,1 @@
+bench/debug_daemon.mli:

@@ -1,0 +1,1 @@
+bench/debug_mdst.ml: Array Format Generators Graph List Mdst_builder Min_degree Random Repro_core Repro_graph Repro_runtime Scheduler Sys Tree

@@ -1,0 +1,1 @@
+bench/debug_mdst.mli:

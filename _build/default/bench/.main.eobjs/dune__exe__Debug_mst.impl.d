@@ -1,0 +1,1 @@
+bench/debug_mst.ml: Array Format Fragment_labels Generators Graph List Mst Mst_builder Option Printf Queue Random Repro_core Repro_graph Repro_labels Repro_runtime Scheduler Sys Tree

@@ -1,0 +1,1 @@
+bench/debug_mst.mli:

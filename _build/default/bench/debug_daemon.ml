@@ -1,0 +1,27 @@
+(* Probe: MST under the min-id central daemon (the E7 livelock). *)
+open Repro_graph
+open Repro_runtime
+open Repro_core
+module ME = Mst_builder.Engine
+
+let () =
+  let sched =
+    match Sys.argv with
+    | [| _; s |] -> Option.get (Scheduler.by_name s)
+    | _ -> Scheduler.Central Scheduler.Min_id
+  in
+  let rng = Random.State.make [| 0xE57; 700 |] in
+  let g = Generators.gnp rng ~n:16 ~p:0.3 in
+  let rng = Random.State.make [| 0xE57; 701 |] in
+  (* consume the BFS run's rng draws like e7 does *)
+  let _ = Bfs_builder.Engine.run g sched rng ~init:(Bfs_builder.Engine.adversarial rng g) in
+  let ring = Queue.create () in
+  let r =
+    ME.run g sched rng ~max_steps:300_000 ~init:(ME.initial g)
+      ~on_step:(fun v states ->
+        if Queue.length ring >= 16 then ignore (Queue.pop ring);
+        Queue.add (Format.asprintf "step@%d: %a" v Mst_builder.P.pp_state states.(v)) ring)
+  in
+  Format.printf "silent=%b legal=%b rounds=%d steps=%d@." r.ME.silent r.ME.legal r.ME.rounds
+    r.ME.steps;
+  Queue.iter print_endline ring

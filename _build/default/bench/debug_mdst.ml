@@ -1,0 +1,73 @@
+(* Debug driver for the MDST builder. *)
+
+open Repro_graph
+open Repro_runtime
+open Repro_core
+module DE = Mdst_builder.Engine
+
+let () =
+  let i = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 0 in
+  let adv = Array.length Sys.argv > 2 && Sys.argv.(2) = "adv" in
+  let st = Random.State.make [| 0xC04E; i |] in
+  let g = Generators.random_connected st ~n:(8 + (i mod 8)) ~m:(14 + (2 * i)) in
+  Format.printf "graph %d: n=%d m=%d@." i (Graph.n g) (Graph.m g);
+  let st2 = Random.State.make [| 0xC04E; 160 + i |] in
+  let init = if adv then DE.adversarial st2 g else DE.initial g in
+  let r = DE.run g Scheduler.Synchronous st2 ~max_rounds:5000 ~init in
+  Format.printf "silent=%b legal=%b rounds=%d steps=%d@." r.DE.silent r.DE.legal r.DE.rounds
+    r.DE.steps;
+  match Mdst_builder.tree_of g r.DE.states with
+  | None -> Format.printf "no tree@."
+  | Some t ->
+      let d = Tree.max_degree t in
+      Format.printf "tree degree=%d  FR says %d  exact %s@." d
+        (let ft, _, _ = Min_degree.furer_raghavachari g ~root:0 in
+         Tree.max_degree ft)
+        (if Graph.n g <= 12 then string_of_int (Min_degree.exact g) else "?");
+      Format.printf "find_marking: %s@."
+        (match Min_degree.find_marking g t with Some _ -> "FR tree" | None -> "NOT FR");
+      (* Check the register marking against Definition 8.1 directly. *)
+      let m = Mdst_builder.marking_of r.DE.states in
+      Format.printf "register marking valid FR witness: %b@." (Min_degree.is_fr_tree g t m);
+      Array.iteri
+        (fun v (s : Mdst_builder.state) ->
+          Format.printf
+            "node %2d: deg=%d(real %d) %s frag=%d fdist=%d mark=%s dmax=%s hub=%s imp=%s veto=%s sw=%s@."
+            v s.Mdst_builder.deg (Tree.degree t v)
+            (if s.Mdst_builder.good then "good" else "bad ")
+            s.Mdst_builder.frag s.Mdst_builder.fdist
+            (match s.Mdst_builder.mark with
+            | Some mk ->
+                Format.asprintf "%a r%d" Graph.Edge.pp mk.Mdst_builder.witness
+                  mk.Mdst_builder.rank
+            | None -> "-")
+            (match s.Mdst_builder.dmax with
+            | Some a -> string_of_int a.Repro_core.Aggregate.value
+            | None -> "-")
+            (match s.Mdst_builder.hub_agg with
+            | Some a -> string_of_int a.Repro_core.Aggregate.value
+            | None -> "-")
+            (match s.Mdst_builder.imp_agg with
+            | Some a -> Format.asprintf "z%d" a.Repro_core.Aggregate.value.Mdst_builder.z
+            | None -> "-")
+            (match s.Mdst_builder.veto_agg with
+            | Some a ->
+                Format.asprintf "z%d%s" a.Repro_core.Aggregate.value.Mdst_builder.vc.Mdst_builder.z
+                  (if a.Repro_core.Aggregate.value.Mdst_builder.hard then "!" else "~")
+            | None -> "-")
+            (match s.Mdst_builder.sw with Some _ -> "sw" | None -> "-"))
+        r.DE.states;
+      (* What would the fresh closure mark? *)
+      (match Min_degree.find_marking g t with
+      | None ->
+          Format.printf "fresh closure would mark a max-degree node good: improvement missed@."
+      | Some _ -> ());
+      if not r.DE.silent then
+        List.iter
+          (fun v ->
+            match Mdst_builder.P.step (DE.view g r.DE.states v) with
+            | Some s' ->
+                Format.printf "enabled %d:@.  %a@.  -> %a@." v Mdst_builder.P.pp_state
+                  r.DE.states.(v) Mdst_builder.P.pp_state s'
+            | None -> ())
+          (DE.enabled g r.DE.states)

@@ -1,0 +1,114 @@
+(* Debug driver for the MST builder: trace what fires per round, and on
+   termination diff the stored fragment labels against the true Borůvka
+   trace of the stabilized tree.
+
+     dune exec bench/debug_mst.exe -- <i> [adv] [sched]            *)
+
+open Repro_graph
+open Repro_runtime
+open Repro_labels
+open Repro_core
+module ME = Mst_builder.Engine
+module FL = Fragment_labels
+
+let () =
+  let i = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 0 in
+  let adv = Array.length Sys.argv > 2 && Sys.argv.(2) = "adv" in
+  let sched =
+    if Array.length Sys.argv > 3 then Option.get (Scheduler.by_name Sys.argv.(3))
+    else Scheduler.Synchronous
+  in
+  let st = Random.State.make [| 0xC04E; i |] in
+  let g = Generators.random_connected st ~n:(8 + (i mod 8)) ~m:(14 + (2 * i)) in
+  Format.printf "graph %d: n=%d m=%d adv=%b sched=%a@." i (Graph.n g) (Graph.m g) adv
+    Scheduler.pp sched;
+  let st2 = Random.State.make [| 0xC04E; 130 + i |] in
+  let init = if adv then ME.adversarial st2 g else ME.initial g in
+  let trace = Array.length Sys.argv > 4 && Sys.argv.(4) = "trace" in
+  let ring = Queue.create () in
+  let on_step v states =
+    if trace then begin
+      if Queue.length ring >= 60 then ignore (Queue.pop ring);
+      Queue.add (Format.asprintf "step@%d: %a" v Mst_builder.P.pp_state states.(v)) ring
+    end
+  in
+  let max_steps = if trace then 5_000 else 10_000_000 in
+  let last_report = ref (-1000) in
+  let r =
+    ME.run g sched st2 ~max_rounds:5000 ~max_steps ~init ~on_step
+      ~on_round:(fun round states ->
+        if round - !last_report >= 200 || round < 15 then begin
+          last_report := round;
+          let enabled = ME.enabled g states in
+          let tree = Mst_builder.tree_of g states in
+          let swc =
+            Array.fold_left (fun a s -> a + if s.Mst_builder.sw <> None then 1 else 0) 0 states
+          in
+          Format.printf "round %5d: enabled=%2d tree=%b sw=%d weight=%s@." round
+            (List.length enabled)
+            (tree <> None) swc
+            (match tree with Some t -> string_of_int (Tree.weight t g) | None -> "-")
+        end)
+  in
+  Format.printf "silent=%b legal=%b rounds=%d steps=%d@." r.ME.silent r.ME.legal r.ME.rounds
+    r.ME.steps;
+  if trace then Queue.iter (fun line -> Format.printf "%s@." line) ring;
+  (match Mst_builder.tree_of g r.ME.states with
+  | Some t ->
+      Format.printf "weight=%d kruskal=%d@." (Tree.weight t g) (Mst.mst_weight g);
+      let truth = FL.prover g t in
+      Array.iteri
+        (fun v (s : Mst_builder.state) ->
+          if not (FL.equal s.Mst_builder.frags truth.(v)) then
+            Format.printf "node %d frags differ:@.stored: %a@.truth:  %a@." v FL.pp
+              s.Mst_builder.frags FL.pp truth.(v))
+        r.ME.states;
+      (* True violations on the stabilized tree. *)
+      (match FL.violation_level g truth with
+      | Some lvl -> Format.printf "TRUE violation at level %d (tree is not MST)@." lvl
+      | None -> Format.printf "no true violation: tree IS the MST@.")
+  | None -> Format.printf "no tree at the end@.");
+  if not r.ME.silent then
+    List.iter
+      (fun v ->
+        let view = ME.view g r.ME.states v in
+        match Mst_builder.P.step view with
+        | Some s' ->
+            Format.printf "node %d: %a@.   ->   %a@." v Mst_builder.P.pp_state
+              r.ME.states.(v) Mst_builder.P.pp_state s'
+        | None -> ())
+      (ME.enabled g r.ME.states)
+  else begin
+    (* Silent: dump aggregate fields to explain why no candidate fires. *)
+    Array.iteri
+      (fun v (s : Mst_builder.state) ->
+        let pp_cand ppf (c : Mst_builder.cand) =
+          Format.fprintf ppf "lvl=%d e=%a" c.Mst_builder.lvl Graph.Edge.pp c.Mst_builder.e
+        in
+        let base =
+          (* recompute the candidate base by hand *)
+          let view = ME.view g r.ME.states v in
+          ignore view;
+          ""
+        in
+        ignore base;
+        Format.printf "node %2d: k=%d cand=%s cut=%s sw=%s@." v
+          (Array.length s.Mst_builder.frags)
+          (match s.Mst_builder.cand_agg with
+          | Some a ->
+              Format.asprintf "%a@@%d" pp_cand a.Repro_core.Aggregate.value
+                a.Repro_core.Aggregate.hops
+          | None -> "-")
+          (match s.Mst_builder.cut_agg with
+          | Some a ->
+              Format.asprintf "%a/f=%a child=%d@@%d" pp_cand
+                a.Repro_core.Aggregate.value.Mst_builder.cand Graph.Edge.pp
+                a.Repro_core.Aggregate.value.Mst_builder.f
+                a.Repro_core.Aggregate.value.Mst_builder.f_child
+                a.Repro_core.Aggregate.hops
+          | None -> "-")
+          (match s.Mst_builder.sw with
+          | Some sess -> Printf.sprintf "next=%d" sess.Mst_builder.next
+          | None -> "-"))
+      r.ME.states
+  end

@@ -1,0 +1,210 @@
+(* Command-line driver: run any of the self-stabilizing constructions on
+   any generated topology and report convergence statistics.
+
+     dune exec bin/repro_cli.exe -- run --algo mst --graph gnp --nodes 30
+     dune exec bin/repro_cli.exe -- run --algo mdst --graph geometric \
+         --nodes 24 --sched adversary --adversarial
+     dune exec bin/repro_cli.exe -- list *)
+
+open Repro_graph
+open Repro_runtime
+open Repro_core
+open Repro_baselines
+
+type outcome = {
+  algo : string;
+  silent : bool;
+  legal : bool;
+  rounds : int;
+  steps : int;
+  max_bits : int;
+  note : string;
+}
+
+let report o =
+  Format.printf "algorithm    : %s@." o.algo;
+  Format.printf "silent       : %b@." o.silent;
+  Format.printf "legal        : %b@." o.legal;
+  Format.printf "rounds       : %d@." o.rounds;
+  Format.printf "steps        : %d@." o.steps;
+  Format.printf "max register : %d bits@." o.max_bits;
+  if o.note <> "" then Format.printf "result       : %s@." o.note
+
+let run_algo algo g sched rng ~adversarial ~faults ~max_rounds =
+  let generic (type s) (module P : Protocol.S with type state = s) ~note =
+    let module E = Engine.Make (P) in
+    let init = if adversarial then E.adversarial rng g else E.initial g in
+    let r = E.run ~max_rounds g sched rng ~init in
+    let states =
+      if faults > 0 && r.E.silent then begin
+        let corrupted =
+          Fault.corrupt rng ~random_state:P.random_state g r.E.states ~k:faults
+        in
+        Format.printf "(injected %d faults after stabilization)@." faults;
+        let r2 = E.run ~max_rounds g sched rng ~init:corrupted in
+        r2
+      end
+      else r
+    in
+    {
+      algo;
+      silent = states.E.silent;
+      legal = states.E.legal;
+      rounds = states.E.rounds;
+      steps = states.E.steps;
+      max_bits = states.E.max_bits;
+      note = note states.E.states;
+    }
+  in
+  match algo with
+  | "bfs" ->
+      generic
+        (module Bfs_builder.P)
+        ~note:(fun sts ->
+          Printf.sprintf "phi = %d" (Bfs_builder.potential g sts))
+  | "mst" ->
+      generic
+        (module Mst_builder.P)
+        ~note:(fun sts ->
+          match Mst_builder.tree_of g sts with
+          | Some t ->
+              Printf.sprintf "tree weight %d (MST weight %d)" (Tree.weight t g)
+                (Mst.mst_weight g)
+          | None -> "no tree")
+  | "mdst" ->
+      generic
+        (module Mdst_builder.P)
+        ~note:(fun sts ->
+          match Mdst_builder.tree_of g sts with
+          | Some t ->
+              let fr, _, _ = Min_degree.furer_raghavachari g ~root:0 in
+              Printf.sprintf "tree degree %d (sequential FR: %d)" (Tree.max_degree t)
+                (Tree.max_degree fr)
+          | None -> "no tree")
+  | "spt" ->
+      generic
+        (module Spt_builder.P)
+        ~note:(fun sts ->
+          Printf.sprintf "potential = %d" (Spt_builder.potential g sts))
+  | "adhoc-bfs" -> generic (module Adhoc_bfs.P) ~note:(fun _ -> "")
+  | "compact-mst" ->
+      generic
+        (module Compact_mst.P)
+        ~note:(fun _ ->
+          if adversarial then "uncertified: may be silent yet wrong from garbage" else "")
+  | "fullinfo-mst" -> generic (module Fullinfo.Mst_instance.P) ~note:(fun _ -> "")
+  | "fullinfo-mdst" -> generic (module Fullinfo.Mdst_instance.P) ~note:(fun _ -> "")
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
+let algos =
+  [
+    "bfs"; "mst"; "mdst"; "spt"; "adhoc-bfs"; "compact-mst"; "fullinfo-mst";
+    "fullinfo-mdst";
+  ]
+
+open Cmdliner
+
+let algo_arg =
+  let doc = "Algorithm: " ^ String.concat ", " algos ^ "." in
+  Arg.(value & opt string "mst" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+
+let graph_arg =
+  let doc = "Topology family: " ^ String.concat ", " Generators.all_names ^ "." in
+  Arg.(value & opt string "gnp" & info [ "graph"; "g" ] ~docv:"FAMILY" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 24 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Number of nodes.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let sched_arg =
+  let doc =
+    "Scheduler: " ^ String.concat ", " (List.map fst Scheduler.all) ^ "."
+  in
+  Arg.(value & opt string "random" & info [ "sched"; "s" ] ~docv:"SCHED" ~doc)
+
+let adversarial_arg =
+  Arg.(value & flag & info [ "adversarial" ] ~doc:"Start from arbitrary register contents.")
+
+let faults_arg =
+  Arg.(value & opt int 0 & info [ "faults" ] ~docv:"K" ~doc:"Corrupt K registers after stabilization and re-run.")
+
+let max_rounds_arg =
+  Arg.(value & opt int 200_000 & info [ "max-rounds" ] ~docv:"R" ~doc:"Round budget.")
+
+let run_cmd =
+  let run algo family n seed sched adversarial faults max_rounds =
+    let rng = Random.State.make [| seed |] in
+    match Generators.by_name family with
+    | None -> `Error (false, Printf.sprintf "unknown graph family %S" family)
+    | Some gen -> (
+        match Scheduler.by_name sched with
+        | None -> `Error (false, Printf.sprintf "unknown scheduler %S" sched)
+        | Some sched ->
+            let g = gen rng ~n in
+            Format.printf "graph: %s n=%d m=%d@." family (Graph.n g) (Graph.m g);
+            report (run_algo algo g sched rng ~adversarial ~faults ~max_rounds);
+            `Ok ())
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a construction and report statistics.")
+    Term.(
+      ret
+        (const run $ algo_arg $ graph_arg $ n_arg $ seed_arg $ sched_arg $ adversarial_arg
+       $ faults_arg $ max_rounds_arg))
+
+let sweep_cmd =
+  let sweep algo family ns trials seed sched =
+    match (Generators.by_name family, Scheduler.by_name sched) with
+    | None, _ -> `Error (false, Printf.sprintf "unknown graph family %S" family)
+    | _, None -> `Error (false, Printf.sprintf "unknown scheduler %S" sched)
+    | Some gen, Some sched ->
+        let ns =
+          String.split_on_char ',' ns
+          |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
+        in
+        Format.printf "algo,graph,n,m,trial,silent,legal,rounds,steps,max_bits@.";
+        List.iter
+          (fun n ->
+            for trial = 1 to trials do
+              let rng = Random.State.make [| seed; n; trial |] in
+              let g = gen rng ~n in
+              let o =
+                run_algo algo g sched rng ~adversarial:false ~faults:0
+                  ~max_rounds:200_000
+              in
+              Format.printf "%s,%s,%d,%d,%d,%b,%b,%d,%d,%d@." algo family (Graph.n g)
+                (Graph.m g) trial o.silent o.legal o.rounds o.steps o.max_bits
+            done)
+          ns;
+        `Ok ()
+  in
+  let ns_arg =
+    Arg.(
+      value
+      & opt string "8,16,24,32"
+      & info [ "n-list" ] ~docv:"N1,N2,.." ~doc:"Comma-separated node counts.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 3 & info [ "trials" ] ~docv:"T" ~doc:"Trials per size.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep an algorithm over sizes; print CSV rows.")
+    Term.(
+      ret (const sweep $ algo_arg $ graph_arg $ ns_arg $ trials_arg $ seed_arg $ sched_arg))
+
+let list_cmd =
+  let list () =
+    Format.printf "algorithms: %s@." (String.concat ", " algos);
+    Format.printf "graphs:     %s@." (String.concat ", " Generators.all_names);
+    Format.printf "schedulers: %s@." (String.concat ", " (List.map fst Scheduler.all))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List algorithms, graph families and schedulers.")
+    Term.(const list $ const ())
+
+let () =
+  let info =
+    Cmd.info "repro-cli" ~version:"1.0.0"
+      ~doc:
+        "Silent self-stabilizing constrained spanning tree constructions (Blin & \
+         Fraigniaud, ICDCS 2015)"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/fault_recovery.ml: Fault Format Generators Graph List Mst_builder Random Repro_core Repro_graph Repro_runtime Scheduler

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Generators Graph Mst Mst_builder Random Repro_core Repro_graph Repro_runtime Scheduler Tree

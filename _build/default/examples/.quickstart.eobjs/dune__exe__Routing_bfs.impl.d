@@ -1,0 +1,1 @@
+examples/routing_bfs.ml: Array Bfs_builder Format Generators Graph Random Repro_baselines Repro_core Repro_graph Repro_runtime Scheduler St_layer Traversal

@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Format Generators Graph Hashtbl List Mdst_builder Min_degree Option Random Repro_core Repro_graph Repro_runtime Scheduler Tree

@@ -1,0 +1,1 @@
+examples/trace_inspection.ml: Format Generators Graph List Mst_builder Random Repro_core Repro_graph Repro_runtime Scheduler Trace

@@ -1,0 +1,1 @@
+lib/baselines/adhoc_bfs.ml: Array Format Random Repro_graph Repro_runtime

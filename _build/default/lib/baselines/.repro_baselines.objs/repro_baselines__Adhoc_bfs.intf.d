@@ -1,0 +1,1 @@
+lib/baselines/adhoc_bfs.mli: Repro_runtime

@@ -1,0 +1,1 @@
+lib/baselines/compact_mst.ml: Array Format Random Repro_graph Repro_runtime

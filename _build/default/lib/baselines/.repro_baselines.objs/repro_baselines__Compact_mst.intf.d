@@ -1,0 +1,1 @@
+lib/baselines/compact_mst.mli: Random Repro_graph Repro_runtime

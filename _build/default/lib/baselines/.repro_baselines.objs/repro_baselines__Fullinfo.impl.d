@@ -1,0 +1,1 @@
+lib/baselines/fullinfo.ml: Array Format Hashtbl List Random Repro_core Repro_graph Repro_runtime

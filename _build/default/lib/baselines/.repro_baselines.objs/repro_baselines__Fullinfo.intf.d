@@ -1,0 +1,1 @@
+lib/baselines/fullinfo.mli: Repro_core Repro_graph Repro_runtime

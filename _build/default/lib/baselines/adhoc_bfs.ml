@@ -1,0 +1,65 @@
+module Graph = Repro_graph.Graph
+module Traversal = Repro_graph.Traversal
+module View = Repro_runtime.View
+module Space = Repro_runtime.Space
+
+type state = { parent : int; dist : int }
+
+module P = struct
+  type nonrec state = state
+
+  let equal_state (a : state) b = a = b
+  let pp_state ppf s = Format.fprintf ppf "(p=%d,d=%d)" s.parent s.dist
+  let size_bits n _ = Space.id_bits n + Space.dist_bits n
+  let initial _ v = if v = 0 then { parent = -1; dist = 0 } else { parent = -1; dist = 1 }
+
+  let random_state rng g _ =
+    let n = Graph.n g in
+    { parent = Random.State.int rng (n + 1) - 1; dist = Random.State.int rng (n + 1) }
+
+  let target (view : state View.t) =
+    if view.View.id = 0 then { parent = -1; dist = 0 }
+    else begin
+      let best = ref None in
+      for i = 0 to view.View.degree - 1 do
+        let u = view.View.nbrs.(i) in
+        match !best with
+        | None -> best := Some (u.dist, view.View.nbr_ids.(i))
+        | Some (d, _) -> if u.dist < d then best := Some (u.dist, view.View.nbr_ids.(i))
+      done;
+      match !best with
+      | Some (d, p) when d + 1 <= view.View.n -> { parent = p; dist = d + 1 }
+      | _ -> { parent = -1; dist = view.View.n }
+    end
+
+  let step view =
+    let fresh = target view in
+    (* Keep the current parent if it still certifies the same distance,
+       so the protocol is silent once distances are exact. *)
+    let s = view.View.self in
+    let keep =
+      s.dist = fresh.dist
+      &&
+      if view.View.id = 0 then s.parent = -1
+      else
+        match View.index view s.parent with
+        | i -> view.View.nbrs.(i).dist + 1 = s.dist
+        | exception Not_found -> false
+    in
+    if keep then None else if equal_state s fresh then None else Some fresh
+
+  let is_legal g sts =
+    let d = Traversal.bfs_distances g ~src:0 in
+    let ok = ref true in
+    Array.iteri
+      (fun v (s : state) ->
+        if s.dist <> d.(v) then ok := false;
+        if v <> 0 then
+          match s.parent with
+          | p when p >= 0 && Graph.has_edge g v p && d.(p) + 1 = d.(v) -> ()
+          | _ -> ok := false)
+      sts;
+    !ok
+end
+
+module Engine = Repro_runtime.Engine.Make (P)

@@ -1,0 +1,13 @@
+(** Ad-hoc rooted BFS baseline (Huang–Chen style, [42] in the paper).
+
+    Solves the {e easier} task where the root is known (node 0 is aware
+    it is the root): every node maintains only a distance and a parent,
+    [d(0) = 0], [d(v) = 1 + min] over neighbors, parent = a closest
+    neighbor. Silent, O(log n) bits, O(n) rounds — the comparison row for
+    the paper's PLS-guided BFS (which additionally elects the root). *)
+
+type state = { parent : int; dist : int }
+
+module P : Repro_runtime.Protocol.S with type state = state
+
+module Engine : module type of Repro_runtime.Engine.Make (P)

@@ -1,0 +1,37 @@
+(** Compact non-certified MST baseline.
+
+    A distributed Borůvka with O(log n)-bit registers that stores only
+    the {e current} fragment level (id + anchored distance + selected
+    minimum outgoing edge), not the full execution trace: fragments merge
+    across their minimum outgoing {e graph} edge until one fragment
+    spans the network.
+
+    From the designated initial configuration this constructs the MST and
+    falls silent in poly(n) rounds — with registers exponentially smaller
+    than the Ω(log² n) bits required of {e silent self-stabilizing} MST
+    [Korman–Kutten, cited as [50]]. The catch, and the point of the
+    experiment (E9): with O(log n) bits the final configuration cannot be
+    locally verified, so from adversarial initial configurations the
+    protocol can fall silent on a {e non}-MST spanning tree (e.g. any
+    spanning tree pre-loaded as "already one fragment" is a silent
+    illegal fixpoint). The paper's compact references [17], [51] repair
+    this by perpetual re-verification — giving up silence; the paper
+    itself instead pays O(log² n) bits for the Borůvka-trace certificate
+    and keeps silence. [failure_rate] quantifies the catch. *)
+
+type state = {
+  parent : int;  (** parent within the fragment tree; -1 at the fragment root *)
+  frag : int;  (** fragment id (claimed min id) *)
+  fdist : int;  (** hop distance to the fragment root *)
+  moe : (Repro_graph.Graph.Edge.t * int) option;
+      (** fragment's minimum outgoing edge + hops to its inside endpoint *)
+}
+
+module P : Repro_runtime.Protocol.S with type state = state
+
+module Engine : module type of Repro_runtime.Engine.Make (P)
+
+(** [failure_rate rng g ~trials] — fraction of runs from adversarial
+    initial configurations that end silent but {e illegal} (the
+    self-stabilization failure the certificates exist to prevent). *)
+val failure_rate : Random.State.t -> Repro_graph.Graph.t -> trials:int -> float

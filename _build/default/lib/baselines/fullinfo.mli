@@ -1,0 +1,53 @@
+(** The full-information baseline: silent and time-efficient, but with
+    enormous registers — the generic approach of [15] (result (2) in the
+    paper's related work: every task has a silent self-stabilizing
+    solution in O(n) rounds with O(n²)-bit registers).
+
+    Every node convergecasts its subtree's complete topology (node ids
+    with their incident weighted edges) toward the elected root; once the
+    root sees all [n] nodes it {e locally} computes the desired tree for
+    the task (MST by Kruskal, FR-tree by Fürer–Raghavachari — the model
+    allows arbitrary local computation) and floods the full parent plan
+    back down; every node then re-parents as instructed. Silent and
+    correct from any initial configuration, converging in O(n) waves —
+    but registers hold Θ(m log n) bits, and the re-parenting is {e not}
+    loop-free (transient non-tree configurations occur), in contrast with
+    Section IV's switching.
+
+    Experiment E9 runs the two instances ({!Mst_instance},
+    {!Mdst_instance}) against the paper's builders to exhibit the space
+    separation that motivates Problem 1.1. *)
+
+module type TASK = sig
+  val name : string
+
+  (** Compute the target tree (rooted at 0) from the full graph. *)
+  val desired : Repro_graph.Graph.t -> Repro_graph.Tree.t
+
+  (** Task-level legality of a stable tree. *)
+  val is_legal_tree : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool
+end
+
+type info = (int * (int * int) list) list
+(** Collected topology: (node, incident (neighbor, weight) list),
+    sorted by node id. *)
+
+type state = { st : Repro_core.St_layer.t; info : info; plan : int array }
+
+module type INSTANCE = sig
+  module P : Repro_runtime.Protocol.S with type state = state
+
+  module Engine : sig
+    include module type of Repro_runtime.Engine.Make (P)
+  end
+
+  val tree_of : Repro_graph.Graph.t -> state array -> Repro_graph.Tree.t option
+end
+
+module Make (_ : TASK) : INSTANCE
+
+(** Kruskal at the root. *)
+module Mst_instance : INSTANCE
+
+(** Fürer–Raghavachari at the root. *)
+module Mdst_instance : INSTANCE

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: List Option

@@ -1,0 +1,1 @@
+lib/core/bfs_builder.mli: Repro_graph Repro_runtime St_layer

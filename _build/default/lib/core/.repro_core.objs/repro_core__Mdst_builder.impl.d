@@ -1,0 +1,1 @@
+lib/core/mdst_builder.ml: Aggregate Array Format List Printf Random Repro_graph Repro_labels Repro_runtime St_layer

@@ -1,0 +1,1 @@
+lib/core/mdst_builder.mli: Aggregate Repro_graph Repro_labels Repro_runtime St_layer

@@ -1,0 +1,1 @@
+lib/core/mst_builder.ml: Aggregate Array Format List Random Repro_graph Repro_labels Repro_runtime St_layer

@@ -1,0 +1,1 @@
+lib/core/mst_builder.mli: Aggregate Repro_graph Repro_labels Repro_runtime St_layer

@@ -1,0 +1,1 @@
+lib/core/potential.ml: Hashtbl List Option Printf Repro_graph

@@ -1,0 +1,1 @@
+lib/core/spt_builder.ml: Array Format Random Repro_graph Repro_runtime Set

@@ -1,0 +1,1 @@
+lib/core/spt_builder.mli: Repro_graph Repro_runtime

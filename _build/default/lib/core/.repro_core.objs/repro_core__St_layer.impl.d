@@ -1,0 +1,1 @@
+lib/core/st_layer.ml: Array Format Random Repro_graph Repro_runtime

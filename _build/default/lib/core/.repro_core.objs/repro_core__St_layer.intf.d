@@ -1,0 +1,1 @@
+lib/core/st_layer.mli: Format Random Repro_graph Repro_runtime

@@ -1,0 +1,1 @@
+lib/core/switch.ml: Array Fun List Repro_graph Repro_labels

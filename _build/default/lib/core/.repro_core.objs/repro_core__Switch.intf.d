@@ -1,0 +1,1 @@
+lib/core/switch.mli: Repro_graph Repro_labels

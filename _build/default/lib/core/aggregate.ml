@@ -1,0 +1,30 @@
+type 'v t = { value : 'v; hops : int }
+
+let better compare a b =
+  (* Smaller value first; smaller hops among equal values. *)
+  let c = compare a.value b.value in
+  if c <> 0 then c < 0 else a.hops < b.hops
+
+let target ~compare ~n ~base ~nbrs =
+  let best = ref (Option.map (fun v -> { value = v; hops = 0 }) base) in
+  List.iter
+    (fun nbr ->
+      match nbr with
+      | Some { value; hops } when hops + 1 < n -> (
+          let cand = { value; hops = hops + 1 } in
+          match !best with
+          | None -> best := Some cand
+          | Some cur -> if better compare cand cur then best := Some cand)
+      | _ -> ())
+    nbrs;
+  !best
+
+let equal eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x.value y.value && x.hops = y.hops
+  | _ -> false
+
+let step ~compare ~n ~base ~self ~nbrs =
+  let fresh = target ~compare ~n ~base ~nbrs in
+  if equal (fun a b -> compare a b = 0) fresh self then None else Some fresh

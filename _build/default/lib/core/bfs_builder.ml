@@ -1,0 +1,39 @@
+module Graph = Repro_graph.Graph
+module Traversal = Repro_graph.Traversal
+module View = Repro_runtime.View
+
+let is_bfs_tree g sts =
+  St_layer.is_legal g sts
+  &&
+  let d = Traversal.bfs_distances g ~src:0 in
+  let ok = ref true in
+  Array.iteri (fun v (s : St_layer.t) -> if s.dist <> d.(v) then ok := false) sts;
+  !ok
+
+module P = struct
+  type state = St_layer.t
+
+  let equal_state = St_layer.equal
+  let pp_state = St_layer.pp
+  let size_bits = St_layer.size_bits
+  let initial _g v = St_layer.self_root v
+  let random_state rng g _v = St_layer.random rng ~n:(Graph.n g)
+  let step view = St_layer.step view ~get:Fun.id ~keep_shape:false
+  let is_legal = is_bfs_tree
+end
+
+module Engine = Repro_runtime.Engine.Make (P)
+
+let verify (view : St_layer.t View.t) =
+  View.for_all (fun _ _ (u : St_layer.t) -> u.dist >= view.View.self.St_layer.dist - 1) view
+
+let potential g sts =
+  let d = Traversal.bfs_distances g ~src:0 in
+  let n = Graph.n g in
+  let total = ref 0 in
+  Array.iteri
+    (fun v (s : St_layer.t) ->
+      let dv = if s.St_layer.dist < 0 then n else min s.St_layer.dist n in
+      total := !total + abs (dv - min d.(v) n))
+    sts;
+  !total

@@ -1,0 +1,730 @@
+module Graph = Repro_graph.Graph
+module Tree = Repro_graph.Tree
+module Min_degree = Repro_graph.Min_degree
+module View = Repro_runtime.View
+module Space = Repro_runtime.Space
+module Nca = Repro_labels.Nca_labels
+module E = Graph.Edge
+
+type mark = { witness : E.t; su : Nca.label; sv : Nca.label; rank : int; zseq : Nca.label }
+
+type icand = {
+  z : int;
+  zdeg : int;
+  rank : int;
+  e : E.t;
+  su : Nca.label;  (** NCA label of e's smaller endpoint *)
+  sv : Nca.label;  (** NCA label of e's larger endpoint *)
+  f : E.t;  (** the tree edge removed at z *)
+  f_child : int;
+  f_child_seq : Nca.label;
+}
+
+type mcand = { me : E.t; msu : Nca.label; msv : Nca.label; mrank : int }
+
+type veto = {
+  vc : icand;
+  hard : bool;
+      (** hard = a staleness proof (witness became a tree edge, endpoint
+          label mismatch): the candidate's mark must be dropped. Soft =
+          an endpoint is merely not ready yet (degree > Δ−2): the
+          candidate just stops publishing until the endpoint improves. *)
+}
+
+type msession = { icand : icand; next : int }
+
+type state = {
+  st : St_layer.t;
+  size : int;
+  heavy : int;
+  seq : Nca.label;
+  deg : int;
+  dmax : int Aggregate.t option;
+  good : bool;
+  mark : mark option;
+  frag : int;
+  fdist : int;
+  hub_agg : int Aggregate.t option;
+  mark_agg : mcand Aggregate.t option;
+  imp_agg : icand Aggregate.t option;
+  veto_agg : veto Aggregate.t option;
+  blocked : (E.t * int) option;
+      (* witness edge whose candidacy was vetoed while my degree was the
+         recorded value: do not re-adopt it until my degree changes *)
+  sw : msession option;
+}
+
+let compare_icand (a : icand) b = compare a b
+
+let compare_icand a b =
+  let c = compare (-a.zdeg, a.z) (-b.zdeg, b.z) in
+  if c <> 0 then c else compare_icand a b
+
+let compare_veto (a : veto) b =
+  let c = compare_icand a.vc b.vc in
+  if c <> 0 then c else compare a.hard b.hard
+
+let compare_mcand (a : mcand) b =
+  let c = compare (a.mrank, E.compare a.me b.me) (b.mrank, 0) in
+  if c <> 0 then c else compare a b
+
+let equal_icand (a : icand) b = a = b
+
+(* Δ is a maximum: flip the order. *)
+let compare_deg a b = compare b a
+
+(* ------------------------------------------------------------------ *)
+(* Structural helpers *)
+
+let children_of (view : state View.t) =
+  let acc = ref [] in
+  for i = view.degree - 1 downto 0 do
+    if view.nbrs.(i).st.St_layer.parent = view.id then
+      acc := (view.nbr_ids.(i), view.nbr_weights.(i), view.nbrs.(i)) :: !acc
+  done;
+  !acc
+
+let parent_entry (view : state View.t) =
+  let p = view.self.st.St_layer.parent in
+  if p = -1 then None
+  else
+    match View.index view p with
+    | i -> Some (view.nbr_ids.(i), view.nbr_weights.(i), view.nbrs.(i))
+    | exception Not_found -> None
+
+let tree_neighbors view =
+  (match parent_entry view with Some e -> [ e ] | None -> []) @ children_of view
+
+let deg_target view = List.length (tree_neighbors view)
+
+let size_target view =
+  List.fold_left (fun acc (_, _, c) -> acc + c.size) 1 (children_of view)
+
+let heavy_target view =
+  List.fold_left
+    (fun best (id, _, c) ->
+      match best with
+      | None -> Some (id, c.size)
+      | Some (_, bs) -> if c.size > bs then Some (id, c.size) else best)
+    None (children_of view)
+  |> function
+  | Some (id, _) -> id
+  | None -> -1
+
+let seq_target (view : state View.t) =
+  let s = view.self in
+  if s.st.St_layer.parent = -1 then Nca.of_root view.id
+  else
+    match View.index view s.st.St_layer.parent with
+    | exception Not_found -> s.seq
+    | i ->
+        let p = view.nbrs.(i) in
+        if p.heavy = view.id then Nca.extend_heavy p.seq
+        else Nca.extend_light p.seq ~child:view.id
+
+(* ------------------------------------------------------------------ *)
+(* Marking layer *)
+
+(* The tree edge a witness-good node z would shed to reduce its degree:
+   its parent edge when z is not the NCA of its witness edge, else the
+   edge to the cycle child on the [su] side. With fresh labels this is
+   always constructible for a node on the witness cycle; failure to
+   construct it is a staleness proof and invalidates the mark. *)
+let shed_edge (view : state View.t) (m : mark) =
+  let s = view.self in
+  let w = Nca.nca m.su m.sv in
+  if not (Nca.equal s.seq w) then
+    match parent_entry view with
+    | Some (pid, pw, _) -> Some (E.make view.id pid pw, view.id, s.seq)
+    | None -> None
+  else
+    List.fold_left
+      (fun acc (cid, cw, cnb) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if Nca.is_ancestor cnb.seq m.su then Some (E.make view.id cid cw, cid, cnb.seq)
+            else None)
+      None (children_of view)
+
+let delta (view : state View.t) =
+  match view.self.dmax with Some { Aggregate.value; _ } -> Some value | None -> None
+
+let rank_of (s : state) = match s.mark with Some m -> m.rank | None -> 0
+
+let marking_target (view : state View.t) =
+  let s = view.self in
+  match delta view with
+  | None -> (false, None)
+  | Some d ->
+      if s.deg <= d - 2 then (true, None)
+      else begin
+        let vetoed _witness =
+          (* while any veto names me, neither my current mark nor a fresh
+             adoption may stand: the closure restarts for me only after
+             the veto has decayed, by which time the blocking situation
+             has been given a window to change *)
+          match s.veto_agg with
+          | Some { Aggregate.value = v; _ } -> v.vc.z = view.id
+          | None -> false
+        in
+        let blocked_witness (e : E.t) =
+          match s.blocked with
+          | Some (b, bdeg) -> E.equal b e && bdeg = s.deg
+          | None -> false
+        in
+        let witness_not_my_tree_edge (e : E.t) =
+          (not (E.mem e view.id))
+          ||
+          let other = E.other e view.id in
+          s.st.St_layer.parent <> other
+          &&
+          match View.index view other with
+          | i -> view.nbrs.(i).st.St_layer.parent <> view.id
+          | exception Not_found -> true
+        in
+        match s.mark with
+        | Some m
+          when (not (E.mem m.witness view.id))
+               (* an endpoint is good before its edge is ever usable, so a
+                  witness incident to its holder is incoherent *)
+               && (not (blocked_witness m.witness))
+               && Nca.equal s.seq m.zseq
+               && Nca.on_cycle ~x:s.seq ~u:m.su ~v:m.sv
+               && m.rank >= 1
+               && shed_edge view m <> None
+               && witness_not_my_tree_edge m.witness
+               && not (vetoed m.witness) ->
+            (true, Some m)
+        | _ -> (
+            (* The closure (Algorithm 4 line 7): adopt the agreed
+               marking edge when its fundamental cycle covers me. *)
+            match s.mark_agg with
+            | Some { Aggregate.value = mc; _ }
+              when (not (E.mem mc.me view.id))
+                   && (not (blocked_witness mc.me))
+                   && Nca.on_cycle ~x:s.seq ~u:mc.msu ~v:mc.msv
+                   && mc.mrank >= 1
+                   && not (vetoed mc.me) ->
+                let m =
+                  { witness = mc.me; su = mc.msu; sv = mc.msv; rank = mc.mrank; zseq = s.seq }
+                in
+                if shed_edge view m <> None then (true, Some m) else (false, None)
+            | _ -> (false, None))
+      end
+
+let frag_target (view : state View.t) good =
+  if not good then (-1, 0)
+  else begin
+    let n = view.n in
+    List.fold_left
+      (fun (bf, bd) (_, _, nb) ->
+        if nb.good && nb.frag >= 0 && nb.fdist + 1 <= n && (nb.frag, nb.fdist + 1) < (bf, bd)
+        then (nb.frag, nb.fdist + 1)
+        else (bf, bd))
+      (view.id, 0) (tree_neighbors view)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate bases *)
+
+let hub_base (view : state View.t) =
+  let s = view.self in
+  match delta view with
+  | Some d when s.good && s.deg = d && d >= 1 -> Some view.id
+  | _ -> None
+
+let mark_base (view : state View.t) =
+  let s = view.self in
+  if not s.good then None
+  else begin
+    let tree_ids = List.map (fun (id, _, _) -> id) (tree_neighbors view) in
+    let best = ref None in
+    Array.iteri
+      (fun i y ->
+        let nb = view.nbrs.(i) in
+        if
+          nb.good
+          && (not (List.mem y tree_ids))
+          && nb.frag >= 0 && s.frag >= 0 && nb.frag <> s.frag
+        then begin
+          let edge = E.make view.id y view.nbr_weights.(i) in
+          let su, sv = if edge.E.u = view.id then (s.seq, nb.seq) else (nb.seq, s.seq) in
+          let c =
+            (* clamp: the rank is diagnostic nesting depth, never above n *)
+            { me = edge; msu = su; msv = sv; mrank = min view.n (1 + max (rank_of s) (rank_of nb)) }
+          in
+          match !best with
+          | Some b when compare_mcand b c <= 0 -> ()
+          | _ -> best := Some c
+        end)
+      view.nbr_ids;
+    !best
+  end
+
+(* The improvement candidate: z (witness-good, degree >= Δ-1, while some
+   degree-Δ node is good) also computes the tree edge f it will shed:
+   its parent edge when z is not the NCA of its witness edge, else the
+   edge to the cycle child on the su side. *)
+let imp_base (view : state View.t) =
+  let s = view.self in
+  match (delta view, s.mark, s.hub_agg) with
+  | Some d, Some m, Some _ when s.good && s.deg >= d - 1 -> (
+      let f_data = shed_edge view m in
+      let suppressed =
+        match s.veto_agg with
+        | Some { Aggregate.value = v; _ } -> v.vc.z = view.id && E.equal v.vc.e m.witness
+        | None -> false
+      in
+      match f_data with
+      | Some (f, f_child, f_child_seq) when not suppressed ->
+          Some
+            {
+              z = view.id;
+              zdeg = s.deg;
+              rank = m.rank;
+              e = m.witness;
+              su = m.su;
+              sv = m.sv;
+              f;
+              f_child;
+              f_child_seq;
+            }
+      | _ -> None)
+  | _ -> None
+
+(* Veto: I am an endpoint of the agreed improvement edge but my data is
+   inconsistent with the candidate: degree too high without being a
+   strictly lower-ranked witness-good node. *)
+let veto_base (view : state View.t) =
+  let s = view.self in
+  match (delta view, s.imp_agg) with
+  | Some d, Some { Aggregate.value = c; _ } when E.mem c.e view.id && c.z <> view.id ->
+      let other = E.other c.e view.id in
+      let e_is_tree_edge =
+        s.st.St_layer.parent = other
+        ||
+        match View.index view other with
+        | i -> view.nbrs.(i).st.St_layer.parent = view.id
+        | exception Not_found -> false
+      in
+      (* In a coherent session the carried endpoint labels are the
+         endpoints' current NCA labels; a mismatch proves the witness
+         predates a tree change and can never initiate. *)
+      let my_side = if c.e.E.u = view.id then c.su else c.sv in
+      if e_is_tree_edge then Some { vc = c; hard = true }
+        (* the witness edge has since been swapped INTO the tree: the
+           candidate is stale and can never initiate — flush it *)
+      else if not (Nca.equal s.seq my_side) then Some { vc = c; hard = true }
+      else if s.deg > d - 2 then Some { vc = c; hard = true }
+        (* I am not ready to absorb an extra edge: the candidate's mark is
+           dropped and the closure re-marks from fresh data; if I was a
+           legitimate pending enabler my own candidate now stands alone
+           and executes first — the innermost-first order of Section VII
+           emerges from this retry loop rather than from stored ranks *)
+      else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Switch chain *)
+
+let incoming_token (view : state View.t) =
+  let found = ref None in
+  Array.iteri
+    (fun i nb ->
+      match nb.sw with
+      | Some ({ next; _ } as sess) when next = view.id && !found = None ->
+          if nb.st.St_layer.parent <> view.id then
+            found := Some (view.nbr_ids.(i), view.nbrs.(i), sess)
+      | _ -> ())
+    view.nbrs;
+  !found
+
+let flip_step (view : state View.t) =
+  match incoming_token view with
+  | None -> None
+  | Some (uid, u, sess) ->
+      let s = view.self in
+      (* Only consume tokens of the session I myself agreed to (see
+         Mst_builder.flip_step: starved stale tokens must not be
+         re-consumed under deterministic daemons). *)
+      let backed =
+        match s.imp_agg with
+        | Some { Aggregate.value; _ } -> equal_icand value sess.icand
+        | None -> false
+      in
+      if not backed then None
+      else if s.st.St_layer.parent = uid then None
+      else if u.st.St_layer.root <> s.st.St_layer.root || u.st.St_layer.dist + 1 > view.n - 1
+      then None
+      else if
+        match s.sw with Some { icand = c; _ } -> equal_icand c sess.icand | None -> false
+      then None
+      else begin
+        let next = if view.id = sess.icand.f_child then -1 else s.st.St_layer.parent in
+        Some
+          {
+            s with
+            st =
+              { St_layer.parent = uid; root = u.st.St_layer.root; dist = u.st.St_layer.dist + 1 };
+            sw = Some { sess with next };
+            good = false;
+            mark = None;
+          }
+      end
+
+let token_clear_step (view : state View.t) =
+  let s = view.self in
+  match s.sw with
+  | None -> None
+  | Some { icand; next } ->
+      let consumed =
+        next = -1
+        ||
+        match View.index view next with
+        | exception Not_found -> true
+        | i -> view.nbrs.(i).st.St_layer.parent = view.id
+      in
+      (* A legitimately waiting holder always points AT its flip target
+         while addressing its OLD parent, so [next = parent] is garbage.
+         Unbacked tokens are left in place (the addressee refuses them);
+         initiation overwrites a stale one. *)
+      ignore icand;
+      let garbage = next = s.st.St_layer.parent in
+      if consumed || garbage then Some { s with sw = None } else None
+
+let initiate_step (view : state View.t) =
+  let s = view.self in
+  match (delta view, s.imp_agg) with
+  | Some d, Some { Aggregate.value = c; _ }
+    when E.mem c.e view.id
+         && (match s.sw with
+            | Some { icand = c'; _ } -> not (equal_icand c' c)
+            | None -> true)
+         && s.st.St_layer.parent <> -1 -> (
+      let other = E.other c.e view.id in
+      match View.index view other with
+      | exception Not_found -> None
+      | i ->
+          let onb = view.nbrs.(i) in
+          let not_tree =
+            s.st.St_layer.parent <> other && onb.st.St_layer.parent <> view.id
+          in
+          let vetoed =
+            match s.veto_agg with
+            | Some { Aggregate.value = v; _ } -> equal_icand v.vc c
+            | None -> false
+          in
+          let inside = Nca.is_ancestor c.f_child_seq s.seq in
+          let same_tree =
+            onb.st.St_layer.root = s.st.St_layer.root
+            && onb.st.St_layer.dist + 1 <= view.n - 1
+          in
+          let my_side = if c.e.E.u = view.id then c.su else c.sv in
+          let fresh_session = Nca.equal s.seq my_side in
+          if
+            not_tree && (not vetoed) && inside && same_tree && fresh_session
+            && s.deg <= d - 2
+            && onb.deg <= d - 2
+            && s.st.St_layer.parent <> other
+          then begin
+            let next = if view.id = c.f_child then -1 else s.st.St_layer.parent in
+            Some
+              {
+                s with
+                st =
+                  {
+                    St_layer.parent = other;
+                    root = onb.st.St_layer.root;
+                    dist = onb.st.St_layer.dist + 1;
+                  };
+                sw = Some { icand = c; next };
+                good = false;
+                mark = None;
+              }
+          end
+          else None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The protocol *)
+
+(* Collateral composition: the first enabled rule (in priority order)
+   fires. *)
+let first_enabled alternatives =
+  List.fold_left
+    (fun acc rule -> match acc with Some _ -> acc | None -> rule ())
+    None alternatives
+
+let rules (view : state View.t) =
+  let s = view.self in
+  let nbrs f = Array.to_list (Array.map f view.nbrs) in
+  first_enabled
+    [
+      (fun () ->
+        match St_layer.step view ~get:(fun x -> x.st) ~keep_shape:true with
+        | Some st -> Some { s with st }
+        | None -> None);
+      (fun () -> flip_step view);
+      (fun () -> token_clear_step view);
+      (fun () ->
+        let deg = deg_target view in
+        if deg <> s.deg then Some { s with deg } else None);
+      (fun () ->
+        let size = size_target view in
+        if size <> s.size then Some { s with size } else None);
+      (fun () ->
+        let heavy = heavy_target view in
+        if heavy <> s.heavy then Some { s with heavy } else None);
+      (fun () ->
+        let seq = seq_target view in
+        if not (Nca.equal seq s.seq) then Some { s with seq } else None);
+      (fun () ->
+        match
+          Aggregate.step ~compare:compare_deg ~n:view.n ~base:(Some s.deg) ~self:s.dmax
+            ~nbrs:(nbrs (fun nb -> nb.dmax))
+        with
+        | Some dmax -> Some { s with dmax }
+        | None -> None);
+      (fun () ->
+        let good, mark = marking_target view in
+        (* when a veto names me and strips my mark, remember the witness
+           (with my current degree) so I do not immediately re-adopt it;
+           the block expires as soon as my degree changes *)
+        let blocked =
+          match (s.mark, mark, s.veto_agg) with
+          | Some m, None, Some { Aggregate.value = v; _ }
+            when v.vc.z = view.id && E.equal v.vc.e m.witness ->
+              Some (m.witness, s.deg)
+          | _ -> (
+              (* the block expires when my degree changes — the one local
+                 event that can make the witness usable again; keeping it
+                 through hub-free phases is what breaks cross-epoch
+                 re-marking cycles (see DESIGN.md) *)
+              match s.blocked with
+              | Some (_, bdeg) when bdeg <> s.deg -> None
+              | b -> b)
+        in
+        if good <> s.good || mark <> s.mark || blocked <> s.blocked then
+          Some { s with good; mark; blocked }
+        else None);
+      (fun () ->
+        let frag, fdist = frag_target view s.good in
+        if frag <> s.frag || fdist <> s.fdist then Some { s with frag; fdist } else None);
+      (fun () ->
+        match
+          Aggregate.step ~compare ~n:view.n ~base:(hub_base view) ~self:s.hub_agg
+            ~nbrs:(nbrs (fun nb -> nb.hub_agg))
+        with
+        | Some hub_agg -> Some { s with hub_agg }
+        | None -> None);
+      (fun () ->
+        match
+          Aggregate.step ~compare:compare_mcand ~n:view.n ~base:(mark_base view)
+            ~self:s.mark_agg ~nbrs:(nbrs (fun nb -> nb.mark_agg))
+        with
+        | Some mark_agg -> Some { s with mark_agg }
+        | None -> None);
+      (fun () ->
+        match
+          Aggregate.step ~compare:compare_icand ~n:view.n ~base:(imp_base view)
+            ~self:s.imp_agg ~nbrs:(nbrs (fun nb -> nb.imp_agg))
+        with
+        | Some imp_agg -> Some { s with imp_agg }
+        | None -> None);
+      (fun () ->
+        match
+          Aggregate.step ~compare:compare_veto ~n:view.n ~base:(veto_base view)
+            ~self:s.veto_agg ~nbrs:(nbrs (fun nb -> nb.veto_agg))
+        with
+        | Some veto_agg -> Some { s with veto_agg }
+        | None -> None);
+      (fun () -> initiate_step view);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let tree_of _g sts =
+
+  let parent = Array.map (fun s -> s.st.St_layer.parent) sts in
+  if Tree.check_parents ~root:0 parent then Some (Tree.of_parents ~root:0 parent) else None
+
+let is_legal g sts =
+  match tree_of g sts with
+  | None -> false
+  | Some t -> Min_degree.find_marking g t <> None
+
+let marking_of sts =
+  {
+    Min_degree.good = Array.map (fun s -> s.good) sts;
+    fragment = Array.map (fun s -> s.frag) sts;
+  }
+
+module P = struct
+  type nonrec state = state
+
+  let equal_state (a : state) b = a = b
+
+  let pp_state ppf s =
+    Format.fprintf ppf "@[<h>%a deg=%d %s frag=%d/%d%s%s%s%s%s%s@]" St_layer.pp s.st s.deg
+      (if s.good then "good" else "bad")
+      s.frag s.fdist
+      (match s.mark with
+      | Some m -> Format.asprintf " mark=%a r%d" E.pp m.witness m.rank
+      | None -> "")
+      (match s.dmax with Some a -> Printf.sprintf " d%d" a.Aggregate.value | None -> "")
+      (match s.hub_agg with Some a -> Printf.sprintf " hub%d" a.Aggregate.value | None -> "")
+      (match s.mark_agg with
+      | Some a -> Format.asprintf " mk=%a r%d" E.pp a.Aggregate.value.me a.Aggregate.value.mrank
+      | None -> "")
+      (match s.imp_agg with
+      | Some a -> Format.asprintf " imp=z%d:%a r%d" a.Aggregate.value.z E.pp a.Aggregate.value.e a.Aggregate.value.rank
+      | None -> "")
+      (match s.veto_agg with
+      | Some a ->
+          Format.asprintf " veto=z%d%s" a.Aggregate.value.vc.z
+            (if a.Aggregate.value.hard then "!" else "~")
+      | None -> "")
+
+  let seq_bits n l = Nca.size_bits n l
+
+  let mark_bits n (m : mark) =
+    Space.edge_bits n + seq_bits n m.su + seq_bits n m.sv + Space.dist_bits n
+    + seq_bits n m.zseq
+
+  let icand_bits n (c : icand) =
+    (2 * Space.id_bits n)
+    + (2 * Space.dist_bits n)
+    + (2 * Space.edge_bits n)
+    + seq_bits n c.su + seq_bits n c.sv + seq_bits n c.f_child_seq
+
+  let mcand_bits n (c : mcand) =
+    Space.edge_bits n + seq_bits n c.msu + seq_bits n c.msv + Space.dist_bits n
+
+  let size_bits n s =
+    St_layer.size_bits n s.st
+    + Space.dist_bits n (* size *)
+    + Space.id_bits n (* heavy *)
+    + seq_bits n s.seq
+    + Space.dist_bits n (* deg *)
+    + Space.opt (fun (a : int Aggregate.t) -> ignore a; 2 * Space.dist_bits n) s.dmax
+    + 1
+    + Space.opt (mark_bits n) s.mark
+    + Space.id_bits n + Space.dist_bits n (* frag, fdist *)
+    + Space.opt (fun (a : int Aggregate.t) -> ignore a; 2 * Space.dist_bits n) s.hub_agg
+    + Space.opt (fun (a : mcand Aggregate.t) -> mcand_bits n a.Aggregate.value + Space.dist_bits n) s.mark_agg
+    + Space.opt (fun (a : icand Aggregate.t) -> icand_bits n a.Aggregate.value + Space.dist_bits n) s.imp_agg
+    + Space.opt
+        (fun (a : veto Aggregate.t) -> icand_bits n a.Aggregate.value.vc + 1 + Space.dist_bits n)
+        s.veto_agg
+    + Space.opt (fun (_, _) -> Space.edge_bits n + Space.dist_bits n) s.blocked
+    + Space.opt (fun (sess : msession) -> icand_bits n sess.icand + Space.id_bits n) s.sw
+
+  let initial _g v =
+    {
+      st = St_layer.self_root v;
+      size = 1;
+      heavy = -1;
+      seq = Nca.of_root v;
+      deg = 0;
+      dmax = None;
+      good = false;
+      mark = None;
+      frag = -1;
+      fdist = 0;
+      hub_agg = None;
+      mark_agg = None;
+      imp_agg = None;
+      veto_agg = None;
+      blocked = None;
+      sw = None;
+    }
+
+  let random_state rng g _v =
+    let n = Graph.n g in
+    let random_seq () =
+      Nca.of_pairs @@ Array.init (1 + Random.State.int rng 2) (fun _ ->
+          (Random.State.int rng n, Random.State.int rng n))
+    in
+    let random_edge () =
+      let a = Random.State.int rng n and b = Random.State.int rng n in
+      if a = b then E.make a ((b + 1) mod n) (1 + Random.State.int rng (n * n))
+      else E.make a b (1 + Random.State.int rng (n * n))
+    in
+    let random_mark () =
+      {
+        witness = random_edge ();
+        su = random_seq ();
+        sv = random_seq ();
+        rank = Random.State.int rng 4;
+        zseq = random_seq ();
+      }
+    in
+    let random_icand () =
+      {
+        z = Random.State.int rng n;
+        zdeg = Random.State.int rng n;
+        rank = Random.State.int rng 4;
+        e = random_edge ();
+        su = random_seq ();
+        sv = random_seq ();
+        f = random_edge ();
+        f_child = Random.State.int rng n;
+        f_child_seq = random_seq ();
+      }
+    in
+    {
+      st = St_layer.random rng ~n;
+      size = Random.State.int rng (n + 1);
+      heavy = Random.State.int rng (n + 1) - 1;
+      seq = random_seq ();
+      deg = Random.State.int rng (n + 1);
+      dmax =
+        (if Random.State.bool rng then None
+         else Some { Aggregate.value = Random.State.int rng n; hops = Random.State.int rng n });
+      good = Random.State.bool rng;
+      mark = (if Random.State.bool rng then Some (random_mark ()) else None);
+      frag = Random.State.int rng (n + 1) - 1;
+      fdist = Random.State.int rng (n + 1);
+      hub_agg =
+        (if Random.State.bool rng then None
+         else Some { Aggregate.value = Random.State.int rng n; hops = Random.State.int rng n });
+      mark_agg =
+        (if Random.State.bool rng then None
+         else
+           Some
+             {
+               Aggregate.value =
+                 {
+                   me = random_edge ();
+                   msu = random_seq ();
+                   msv = random_seq ();
+                   mrank = Random.State.int rng 4;
+                 };
+               hops = Random.State.int rng n;
+             });
+      imp_agg =
+        (if Random.State.int rng 4 = 0 then
+           Some { Aggregate.value = random_icand (); hops = Random.State.int rng n }
+         else None);
+      veto_agg = None;
+      blocked =
+        (if Random.State.int rng 4 = 0 then
+           Some (random_edge (), Random.State.int rng n)
+         else None);
+      sw =
+        (if Random.State.int rng 8 = 0 then
+           Some { icand = random_icand (); next = Random.State.int rng (n + 1) - 1 }
+         else None);
+    }
+
+  (* Normalize: a rule that reproduces the current register is not an
+     enabled move (silence must be syntactic). *)
+  let step view =
+    match rules view with
+    | Some s' when equal_state s' view.View.self -> None
+    | r -> r
+  let is_legal = is_legal
+end
+
+module Engine = Repro_runtime.Engine.Make (P)

@@ -1,0 +1,558 @@
+module Graph = Repro_graph.Graph
+module Tree = Repro_graph.Tree
+module Mst = Repro_graph.Mst
+module View = Repro_runtime.View
+module Space = Repro_runtime.Space
+module Nca = Repro_labels.Nca_labels
+module FL = Repro_labels.Fragment_labels
+module E = Graph.Edge
+
+type cand = { lvl : int; e : E.t; su : Nca.label; sv : Nca.label }
+type cut = { cand : cand; f : E.t; f_child : int; f_child_seq : Nca.label }
+type session = { cut : cut; next : int }
+
+type state = {
+  st : St_layer.t;
+  size : int;
+  heavy : int;
+  seq : Nca.label;
+  frags : FL.label;
+  cand_agg : cand Aggregate.t option;
+  cut_agg : cut Aggregate.t option;
+  sw : session option;
+}
+
+let compare_cand a b =
+  let c = compare a.lvl b.lvl in
+  if c <> 0 then c
+  else
+    let c = E.compare a.e b.e in
+    if c <> 0 then c else compare (a.su, a.sv) (b.su, b.sv)
+
+(* Cuts are ordered by their candidate first; among cuts for the same
+   candidate the HEAVIEST f wins (Tarjan's red rule), so f compares
+   reversed. *)
+let compare_cut a b =
+  let c = compare_cand a.cand b.cand in
+  if c <> 0 then c
+  else
+    let c = E.compare b.f a.f in
+    if c <> 0 then c else compare (a.f_child, a.f_child_seq) (b.f_child, b.f_child_seq)
+
+let equal_cand a b = compare_cand a b = 0
+let equal_cut a b = compare_cut a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Local structural helpers *)
+
+let children_of (view : state View.t) =
+  let acc = ref [] in
+  for i = view.degree - 1 downto 0 do
+    if view.nbrs.(i).st.St_layer.parent = view.id then
+      acc := (view.nbr_ids.(i), view.nbr_weights.(i), view.nbrs.(i)) :: !acc
+  done;
+  !acc
+
+(* Incident tree edges: to the parent and to each child. *)
+let incident_tree_edges (view : state View.t) =
+  let parent_edge =
+    let p = view.self.st.St_layer.parent in
+    if p = -1 then []
+    else
+      match View.index view p with
+      | i -> [ (view.nbr_ids.(i), view.nbr_weights.(i), view.nbrs.(i)) ]
+      | exception Not_found -> []
+  in
+  parent_edge @ children_of view
+
+(* ------------------------------------------------------------------ *)
+(* Label targets (local fixpoints) *)
+
+let size_target view =
+  List.fold_left (fun acc (_, _, c) -> acc + c.size) 1 (children_of view)
+
+let heavy_target view =
+  List.fold_left
+    (fun best (id, _, c) ->
+      match best with
+      | None -> Some (id, c.size)
+      | Some (_, bs) -> if c.size > bs then Some (id, c.size) else best)
+    None (children_of view)
+  |> function
+  | Some (id, _) -> id
+  | None -> -1
+
+let seq_target (view : state View.t) =
+  let s = view.self in
+  if s.st.St_layer.parent = -1 then Nca.of_root view.id
+  else
+    match View.index view s.st.St_layer.parent with
+    | exception Not_found -> s.seq (* tree layer will fire first *)
+    | i ->
+        let p = view.nbrs.(i) in
+        if p.heavy = view.id then Nca.extend_heavy p.seq
+        else Nca.extend_light p.seq ~child:view.id
+
+(* The Borůvka-trace target, computed level by level from the neighbors'
+   published arrays (Section VI). Level 0 is purely local; level i+1
+   aggregates within the (certified) merged region via fdist/odist
+   chains. *)
+let frags_target (view : state View.t) : FL.label =
+  let n = view.n in
+  let cap = Space.log2_ceil (max 2 n) + 1 in
+  let tree_nbrs = incident_tree_edges view in
+  let entry_of (nb : state) i : FL.entry option =
+    if i < Array.length nb.frags then Some nb.frags.(i) else None
+  in
+  let min_own_out pred =
+    List.fold_left
+      (fun best (id, w, _) ->
+        if pred id then
+          let e = E.make view.id id w in
+          match best with
+          | Some b when E.compare b e <= 0 -> best
+          | _ -> Some e
+        else best)
+      None tree_nbrs
+  in
+  let out = ref [] in
+  let continue_ = ref true in
+  let level = ref 0 in
+  let prev = ref None in
+  while !continue_ && !level < cap do
+    let i = !level in
+    let entry =
+      if i = 0 then begin
+        let o = min_own_out (fun _ -> true) in
+        { FL.frag = view.id; fdist = 0; out = o; odist = 0 }
+      end
+      else begin
+        let p = match !prev with Some p -> p | None -> assert false in
+        match p.FL.out with
+        | None -> (* previous level was top; unreachable because we stop *) assert false
+        | Some _ ->
+            (* Which tree neighbors are merged with me at level i? *)
+            let merged (id, w, nb) =
+              match entry_of nb (i - 1) with
+              | None -> false
+              | Some ne ->
+                  let edge = E.make view.id id w in
+                  ne.FL.frag = p.FL.frag
+                  || (match p.FL.out with Some o -> E.equal o edge | None -> false)
+                  || match ne.FL.out with Some o -> E.equal o edge | None -> false
+            in
+            (* frag/fdist: min previous-level id over the merged region. *)
+            let frag, fdist =
+              List.fold_left
+                (fun (bf, bd) (_, _, nb) ->
+                  match entry_of nb i with
+                  | Some ne when ne.FL.fdist + 1 <= n && (ne.FL.frag, ne.FL.fdist + 1) < (bf, bd)
+                    ->
+                      (ne.FL.frag, ne.FL.fdist + 1)
+                  | _ -> (bf, bd))
+                (p.FL.frag, 0)
+                (List.filter merged tree_nbrs)
+            in
+            (* out/odist: min outgoing tree edge over level-i mates. *)
+            let own = min_own_out (fun id ->
+                match View.index view id with
+                | exception Not_found -> false
+                | j -> (
+                    match entry_of view.nbrs.(j) i with
+                    | Some ne -> ne.FL.frag <> frag
+                    | None -> false))
+            in
+            let best_out =
+              List.fold_left
+                (fun acc (_, _, nb) ->
+                  match entry_of nb i with
+                  | Some ne when ne.FL.frag = frag -> (
+                      match ne.FL.out with
+                      | Some o when ne.FL.odist + 1 <= n -> (
+                          match acc with
+                          | Some (b, bd) ->
+                              if
+                                E.compare o b < 0
+                                || (E.equal o b && ne.FL.odist + 1 < bd)
+                              then Some (o, ne.FL.odist + 1)
+                              else acc
+                          | None -> Some (o, ne.FL.odist + 1))
+                      | _ -> acc)
+                  | _ -> acc)
+                (match own with Some o -> Some (o, 0) | None -> None)
+                tree_nbrs
+            in
+            (match best_out with
+            | Some (o, od) -> { FL.frag; fdist; out = Some o; odist = od }
+            | None -> { FL.frag; fdist; out = None; odist = 0 })
+      end
+    in
+    out := entry :: !out;
+    prev := Some entry;
+    if entry.FL.out = None then continue_ := false;
+    incr level
+  done;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Candidate and cut bases *)
+
+let cand_base (view : state View.t) =
+  let s = view.self in
+  let best = ref None in
+  Array.iteri
+    (fun j y ->
+      let nb = view.nbrs.(j) in
+      let w = view.nbr_weights.(j) in
+      let e = E.make view.id y w in
+      Array.iteri
+        (fun i (en : FL.entry) ->
+          match en.FL.out with
+          | None -> ()
+          | Some out ->
+              if i < Array.length nb.frags && nb.frags.(i).FL.frag <> en.FL.frag then
+                if E.compare e out < 0 then begin
+                  let c = { lvl = i; e; su = s.seq; sv = nb.seq } in
+                  match !best with
+                  | Some b when compare_cand b c <= 0 -> ()
+                  | _ -> best := Some c
+                end)
+        s.frags)
+    view.nbr_ids;
+  !best
+
+let cut_base (view : state View.t) =
+  let s = view.self in
+  match s.cand_agg with
+  | None -> None
+  | Some { Aggregate.value = c; _ } ->
+      if s.st.St_layer.parent = -1 then None
+      else begin
+        let w = Nca.nca c.su c.sv in
+        if Nca.equal s.seq w then None
+        else if Nca.on_cycle ~x:s.seq ~u:c.su ~v:c.sv then begin
+          match View.index view s.st.St_layer.parent with
+          | exception Not_found -> None
+          | i ->
+              let f = E.make view.id view.nbr_ids.(i) view.nbr_weights.(i) in
+              Some { cand = c; f; f_child = view.id; f_child_seq = s.seq }
+        end
+        else None
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Switch chain *)
+
+(* A neighbor holds a token addressed to me: consume it. *)
+let incoming_token (view : state View.t) =
+  let found = ref None in
+  Array.iteri
+    (fun i nb ->
+      match nb.sw with
+      | Some { cut; next } when next = view.id && !found = None ->
+          (* Sanity: the handing neighbor must have flipped onto its own
+             predecessor already (its parent is not me). *)
+          if nb.st.St_layer.parent <> view.id then
+            found := Some (view.nbr_ids.(i), view.nbrs.(i), cut)
+      | _ -> ())
+    view.nbrs;
+  !found
+
+let flip_step (view : state View.t) =
+  match incoming_token view with
+  | None -> None
+  | Some (uid, u, cut) ->
+      let s = view.self in
+      (* Only consume tokens of the session I myself agreed to: a starved
+         neighbor's stale token (its holder never being scheduled to
+         clear it) must not be re-consumed — deterministic daemons can
+         otherwise ping-pong a node between two standing tokens. My own
+         aggregate is frozen until I flip (flip outranks aggregate
+         updates), so for a live chain this always matches. *)
+      let backed =
+        match s.cut_agg with
+        | Some { Aggregate.value; _ } -> equal_cut value cut
+        | None -> false
+      in
+      if not backed then None
+      else if s.st.St_layer.parent = uid then None
+      else if u.st.St_layer.root <> s.st.St_layer.root || u.st.St_layer.dist + 1 > view.n - 1
+      then None
+      else if (match s.sw with Some { cut = c; _ } -> equal_cut c cut | None -> false)
+      then None
+      else begin
+        let next = if view.id = cut.f_child then -1 else s.st.St_layer.parent in
+        Some
+          {
+            s with
+            st =
+              { St_layer.parent = uid; root = u.st.St_layer.root; dist = u.st.St_layer.dist + 1 };
+            sw = Some { cut; next };
+          }
+      end
+
+(* Drop my token once the addressee has taken it (its parent is me),
+   when it is garbage (addressee not a neighbor / chain complete), or
+   when the session is no longer backed by the live cut agreement —
+   the timeout that flushes tokens surviving from arbitrary initial
+   configurations. *)
+let token_clear_step (view : state View.t) =
+  let s = view.self in
+  match s.sw with
+  | None -> None
+  | Some { cut; next } ->
+      let consumed =
+        next = -1
+        ||
+        match View.index view next with
+        | exception Not_found -> true
+        | i -> view.nbrs.(i).st.St_layer.parent = view.id
+      in
+      (* A legitimately waiting holder always points AT its flip target
+         while addressing its OLD parent, so [next = parent] is garbage
+         (e.g. a token surviving from an arbitrary initial state whose
+         addressee would otherwise ignore it forever). Unbacked-but-
+         wellformed tokens are NOT cleared here — the addressee refuses
+         them anyway, and clearing them early would abort live chains
+         whose holder's aggregates churn first under an unfair daemon;
+         instead, initiation simply ignores (and overwrites) a stale
+         token. *)
+      ignore cut;
+      let garbage = next = s.st.St_layer.parent in
+      if consumed || garbage then Some { s with sw = None } else None
+
+(* Initiation: I am the endpoint of the agreed candidate edge e inside
+   the detached subtree; re-parent across e and send the token upward. *)
+let initiate_step (view : state View.t) =
+  let s = view.self in
+  match (s.cand_agg, s.cut_agg) with
+  | Some { Aggregate.value = c; _ }, Some { Aggregate.value = cut; _ }
+    when equal_cand c cut.cand && E.mem c.e view.id && s.st.St_layer.parent <> -1 ->
+      let other = E.other c.e view.id in
+      if s.st.St_layer.parent = other then None
+      else if not (Nca.is_ancestor cut.f_child_seq s.seq) then None
+      else if
+        (* a live token blocks re-initiation; a stale (unbacked) one is
+           overwritten *)
+        match s.sw with
+        | Some { cut = c'; _ } -> equal_cut c' cut
+        | None -> false
+      then None
+      else if E.compare c.e cut.f >= 0 then None
+        (* Tarjan's red rule requires f strictly heavier than e; the
+           weight guard also makes every completed session strictly
+           decrease the tree weight, so bogus transient sessions cannot
+           cycle. *)
+      else begin
+        match View.index view other with
+        | exception Not_found -> None
+        | i when view.nbrs.(i).st.St_layer.parent = view.id ->
+            None (* e is a tree edge through the other endpoint *)
+        | i
+          when view.nbrs.(i).st.St_layer.root <> s.st.St_layer.root
+               || view.nbrs.(i).st.St_layer.dist + 1 > view.n - 1 ->
+            None (* never re-parent across trees: the election owns that *)
+        | i ->
+            let u = view.nbrs.(i) in
+            let next = if view.id = cut.f_child then -1 else s.st.St_layer.parent in
+            Some
+              {
+                s with
+                st =
+                  {
+                    St_layer.parent = other;
+                    root = u.st.St_layer.root;
+                    dist = u.st.St_layer.dist + 1;
+                  };
+                sw = Some { cut; next };
+              }
+      end
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The protocol *)
+
+(* Collateral composition: the first enabled rule (in priority order)
+   fires. *)
+let first_enabled alternatives =
+  List.fold_left
+    (fun acc rule -> match acc with Some _ -> acc | None -> rule ())
+    None alternatives
+
+let rules (view : state View.t) =
+  let s = view.self in
+  let nbrs f = Array.to_list (Array.map f view.nbrs) in
+  first_enabled
+    [
+      (* 1. Tree layer. *)
+      (fun () ->
+        match St_layer.step view ~get:(fun x -> x.st) ~keep_shape:true with
+        | Some st -> Some { s with st }
+        | None -> None);
+      (* 2. Switch hand-off — outranks label repair so chains complete
+         without racing the relabeling. *)
+      (fun () -> flip_step view);
+      (fun () -> token_clear_step view);
+      (* 3. Label layers. *)
+      (fun () ->
+        let size = size_target view in
+        if size <> s.size then Some { s with size } else None);
+      (fun () ->
+        let heavy = heavy_target view in
+        if heavy <> s.heavy then Some { s with heavy } else None);
+      (fun () ->
+        let seq = seq_target view in
+        if not (Nca.equal seq s.seq) then Some { s with seq } else None);
+      (fun () ->
+        let frags = frags_target view in
+        if not (FL.equal frags s.frags) then Some { s with frags } else None);
+      (* 4. Aggregates. *)
+      (fun () ->
+        match
+          Aggregate.step ~compare:compare_cand ~n:view.n ~base:(cand_base view)
+            ~self:s.cand_agg
+            ~nbrs:(nbrs (fun nb -> nb.cand_agg))
+        with
+        | Some cand_agg -> Some { s with cand_agg }
+        | None -> None);
+      (fun () ->
+        match
+          Aggregate.step ~compare:compare_cut ~n:view.n ~base:(cut_base view)
+            ~self:s.cut_agg
+            ~nbrs:(nbrs (fun nb -> nb.cut_agg))
+        with
+        | Some cut_agg -> Some { s with cut_agg }
+        | None -> None);
+      (* 5. Chain initiation. *)
+      (fun () -> initiate_step view);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let tree_of _g sts =
+  let parent = Array.map (fun s -> s.st.St_layer.parent) sts in
+  if Tree.check_parents ~root:0 parent then Some (Tree.of_parents ~root:0 parent) else None
+
+let is_legal g sts =
+  match tree_of g sts with None -> false | Some t -> Mst.is_mst g t
+
+let potential g sts =
+  match tree_of g sts with
+  | None -> None
+  | Some t -> Some (FL.potential g t (FL.prover g t))
+
+module P = struct
+  type nonrec state = state
+
+  let equal_state a b =
+    St_layer.equal a.st b.st && a.size = b.size && a.heavy = b.heavy
+    && Nca.equal a.seq b.seq && FL.equal a.frags b.frags
+    && Aggregate.equal equal_cand a.cand_agg b.cand_agg
+    && Aggregate.equal equal_cut a.cut_agg b.cut_agg
+    && a.sw = b.sw
+
+  let pp_state ppf s =
+    Format.fprintf ppf "@[<h>%a size=%d heavy=%d seq=%a k=%d%s%s%s@]" St_layer.pp s.st s.size
+      s.heavy Nca.pp s.seq (Array.length s.frags)
+      (match s.cand_agg with Some _ -> " cand" | None -> "")
+      (match s.cut_agg with Some _ -> " cut" | None -> "")
+      (match s.sw with Some _ -> " sw" | None -> "")
+
+  let seq_bits n l = Nca.size_bits n l
+
+  let cand_bits n c = Space.edge_bits n + Space.dist_bits n + seq_bits n c.su + seq_bits n c.sv
+
+  let cut_bits n c =
+    cand_bits n c.cand + Space.edge_bits n + Space.id_bits n + seq_bits n c.f_child_seq
+
+  let size_bits n s =
+    St_layer.size_bits n s.st + Space.dist_bits n + Space.id_bits n + seq_bits n s.seq
+    + FL.size_bits n s.frags
+    + Space.opt (fun (a : cand Aggregate.t) -> cand_bits n a.Aggregate.value + Space.dist_bits n) s.cand_agg
+    + Space.opt (fun (a : cut Aggregate.t) -> cut_bits n a.Aggregate.value + Space.dist_bits n) s.cut_agg
+    + Space.opt (fun (sess : session) -> cut_bits n sess.cut + Space.id_bits n) s.sw
+
+  let initial _g v =
+    {
+      st = St_layer.self_root v;
+      size = 1;
+      heavy = -1;
+      seq = Nca.of_root v;
+      frags = [| { FL.frag = v; fdist = 0; out = None; odist = 0 } |];
+      cand_agg = None;
+      cut_agg = None;
+      sw = None;
+    }
+
+  let random_state rng g _v =
+    let n = Graph.n g in
+    let random_seq () =
+      Nca.of_pairs @@ Array.init
+        (1 + Random.State.int rng 2)
+        (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+    in
+    let random_edge () =
+      let a = Random.State.int rng n and b = Random.State.int rng n in
+      if a = b then E.make a ((b + 1) mod n) (1 + Random.State.int rng (n * n))
+      else E.make a b (1 + Random.State.int rng (n * n))
+    in
+    let random_entry () =
+      {
+        FL.frag = Random.State.int rng n;
+        fdist = Random.State.int rng n;
+        out = (if Random.State.bool rng then Some (random_edge ()) else None);
+        odist = Random.State.int rng n;
+      }
+    in
+    let random_cand () =
+      { lvl = Random.State.int rng 3; e = random_edge (); su = random_seq (); sv = random_seq () }
+    in
+    {
+      st = St_layer.random rng ~n;
+      size = Random.State.int rng (n + 1);
+      heavy = Random.State.int rng (n + 1) - 1;
+      seq = random_seq ();
+      frags = Array.init (1 + Random.State.int rng 3) (fun _ -> random_entry ());
+      cand_agg =
+        (if Random.State.bool rng then None
+         else Some { Aggregate.value = random_cand (); hops = Random.State.int rng n });
+      cut_agg =
+        (if Random.State.bool rng then None
+         else
+           Some
+             {
+               Aggregate.value =
+                 {
+                   cand = random_cand ();
+                   f = random_edge ();
+                   f_child = Random.State.int rng n;
+                   f_child_seq = random_seq ();
+                 };
+               hops = Random.State.int rng n;
+             });
+      sw =
+        (if Random.State.int rng 4 = 0 then
+           Some
+             {
+               cut =
+                 {
+                   cand = random_cand ();
+                   f = random_edge ();
+                   f_child = Random.State.int rng n;
+                   f_child_seq = random_seq ();
+                 };
+               next = Random.State.int rng (n + 1) - 1;
+             }
+         else None);
+    }
+
+  (* Normalize: a rule that reproduces the current register is not an
+     enabled move (silence must be syntactic). *)
+  let step view =
+    match rules view with
+    | Some s' when equal_state s' view.View.self -> None
+    | r -> r
+  let is_legal = is_legal
+end
+
+module Engine = Repro_runtime.Engine.Make (P)

@@ -1,0 +1,110 @@
+module Graph = Repro_graph.Graph
+module Tree = Repro_graph.Tree
+module Union_find = Repro_graph.Union_find
+
+type swap = { add : int * int; remove : int * int }
+
+module type CYCLICAL = sig
+  val name : string
+  val phi : Graph.t -> Tree.t -> int
+  val phi_max : Graph.t -> int
+  val improve : Graph.t -> Tree.t -> swap option
+  val in_family : Graph.t -> Tree.t -> bool
+end
+
+module type NESTED = sig
+  val name : string
+  val phi : Graph.t -> Tree.t -> int
+  val phi_max : Graph.t -> int
+  val improve : Graph.t -> Tree.t -> swap list option
+  val in_family : Graph.t -> Tree.t -> bool
+end
+
+type 'a run = { result : Tree.t; improvements : int; phi_trace : int list }
+
+let apply t swaps =
+  List.fold_left (fun t { add; remove } -> Tree.swap t ~add ~remove) t swaps
+
+let well_nested t swaps =
+  (* All three conditions of Section VII are stated against the original
+     tree [T]: (a) e_i ∉ T; (b) f_i lies on the fundamental cycle of
+     T + e_i; (c) each later pair connects nodes of a single subtree of
+     the forest obtained from T by removing the edges of all earlier
+     fundamental cycles. *)
+  let ok = ref true in
+  let cut = Hashtbl.create 16 (* tree edges removed by earlier cycles *) in
+  let same_component x y =
+    let uf = Union_find.create (Tree.n t) in
+    for v = 0 to Tree.n t - 1 do
+      let p = Tree.parent t v in
+      if p <> -1 && not (Hashtbl.mem cut (min v p, max v p)) then
+        ignore (Union_find.union uf v p)
+    done;
+    Union_find.same uf x y
+  in
+  List.iteri
+    (fun i { add = x, y; remove = a, b } ->
+      if !ok then begin
+        if Tree.mem_edge t x y || x = y then ok := false
+        else begin
+          let cycle = Tree.fundamental_cycle t ~e:(x, y) in
+          let rec pairs = function
+            | p :: q :: rest -> (p, q) :: pairs (q :: rest)
+            | _ -> []
+          in
+          let cyc_pairs = pairs cycle in
+          if
+            not
+              (List.exists (fun (p, q) -> (p = a && q = b) || (p = b && q = a)) cyc_pairs)
+          then ok := false
+          else if i > 0 && not (same_component x y && same_component a b) then ok := false
+          else
+            List.iter
+              (fun (p, q) -> Hashtbl.replace cut (min p q, max p q) ())
+              cyc_pairs
+        end
+      end)
+    swaps;
+  !ok
+
+let run_generic ~name ~phi ~phi_max ~in_family ~next g ~init =
+  let t = ref init in
+  let improvements = ref 0 in
+  let trace = ref [ phi g !t ] in
+  let budget = phi_max g + 1 in
+  let continue_ = ref true in
+  while !continue_ do
+    match next g !t with
+    | None ->
+        if phi g !t <> 0 then
+          failwith (name ^ ": improve = None but phi <> 0");
+        continue_ := false
+    | Some swaps ->
+        let before = phi g !t in
+        let t' = apply !t swaps in
+        let after = phi g t' in
+        if after >= before then
+          failwith
+            (Printf.sprintf "%s: phi did not decrease (%d -> %d)" name before after);
+        t := t';
+        incr improvements;
+        trace := after :: !trace;
+        if !improvements > budget then failwith (name ^ ": exceeded phi_max improvements")
+  done;
+  if not (in_family g !t) then failwith (name ^ ": terminated outside the family");
+  { result = !t; improvements = !improvements; phi_trace = List.rev !trace }
+
+let run_cyclical (module P : CYCLICAL) g ~init =
+  run_generic ~name:P.name ~phi:P.phi ~phi_max:P.phi_max ~in_family:P.in_family
+    ~next:(fun g t -> Option.map (fun s -> [ s ]) (P.improve g t))
+    g ~init
+
+let run_nested (module P : NESTED) g ~init =
+  run_generic ~name:P.name ~phi:P.phi ~phi_max:P.phi_max ~in_family:P.in_family
+    ~next:(fun g t ->
+      match P.improve g t with
+      | None -> None
+      | Some swaps ->
+          if not (well_nested t swaps) then failwith (P.name ^ ": sequence not well nested");
+          Some swaps)
+    g ~init

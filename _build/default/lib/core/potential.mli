@@ -1,0 +1,79 @@
+(** Potential functions and the PLS-guided local search of Section III
+    (Algorithm 1) and Section VII (Algorithm 3), in their sequential
+    form.
+
+    A family [F] of spanning trees is handled through a potential [φ]
+    with (1) [φ(T) ≥ 0], (2) [φ(T) = 0 ⟺ T ∈ F], and (3) a
+    {e cyclical-decreasing} step: while [φ(T) > 0] there are edges
+    [e ∉ T] and [f] on the fundamental cycle of [T + e] with
+    [φ(T + e − f) < φ(T)] — or, for {e nest-decreasing} families
+    (Section VII), a well-nested sequence of such swaps.
+
+    The distributed, silent, self-stabilizing implementations live in
+    [Bfs_builder], [Mst_builder] and [Mdst_builder]; this module provides
+    the potential interface they share, the sequential reference engines
+    (used to validate the potentials and count improvement steps against
+    [φmax]), and well-nestedness checking. *)
+
+type swap = { add : int * int; remove : int * int }
+
+module type CYCLICAL = sig
+  (** Name for reports. *)
+  val name : string
+
+  (** The potential [φ]. *)
+  val phi : Repro_graph.Graph.t -> Repro_graph.Tree.t -> int
+
+  (** An upper bound on [φ] (the paper's [φmax]); improvement counts are
+      checked against it. *)
+  val phi_max : Repro_graph.Graph.t -> int
+
+  (** [improve g t] — when [φ(T) > 0], a swap with [φ(T+e−f) < φ(T)];
+      [None] iff [φ(T) = 0]. *)
+  val improve : Repro_graph.Graph.t -> Repro_graph.Tree.t -> swap option
+
+  (** Membership in [F] (the task's legality), for validation. *)
+  val in_family : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool
+end
+
+module type NESTED = sig
+  val name : string
+  val phi : Repro_graph.Graph.t -> Repro_graph.Tree.t -> int
+  val phi_max : Repro_graph.Graph.t -> int
+
+  (** A well-nested sequence of swaps decreasing [φ]; [None] iff
+      [φ(T) = 0]. *)
+  val improve : Repro_graph.Graph.t -> Repro_graph.Tree.t -> swap list option
+
+  val in_family : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool
+end
+
+type 'a run = {
+  result : Repro_graph.Tree.t;
+  improvements : int;
+  phi_trace : int list;  (** φ after each improvement, starting value first *)
+}
+
+(** [run_cyclical (module P) g ~init] — Algorithm 1: repeatedly apply
+    [P.improve] until [φ = 0]. Raises [Failure] if an improvement fails
+    to decrease [φ] or the step count exceeds [φmax] (the potential is
+    then not cyclical-decreasing — a bug). *)
+val run_cyclical :
+  (module CYCLICAL) -> Repro_graph.Graph.t -> init:Repro_graph.Tree.t -> unit run
+
+(** [run_nested (module P) g ~init] — Algorithm 3 with well-nested swap
+    sequences; each sequence is validated with {!well_nested} before
+    application. *)
+val run_nested :
+  (module NESTED) -> Repro_graph.Graph.t -> init:Repro_graph.Tree.t -> unit run
+
+(** [apply g t swaps] applies the swaps in order.
+    @raise Invalid_argument if some swap is inapplicable. *)
+val apply : Repro_graph.Tree.t -> swap list -> Repro_graph.Tree.t
+
+(** [well_nested t swaps] — the Section VII condition: each [(e_i, f_i)]
+    has [e_i ∉ T_i], [f_i] on the fundamental cycle of [T_i + e_i]
+    (checked on the running tree [T_i]), and for [j > i] the pair [e_j]
+    connects nodes within a single subtree of the forest obtained from
+    [T] by removing the edges of all earlier fundamental cycles. *)
+val well_nested : Repro_graph.Tree.t -> swap list -> bool

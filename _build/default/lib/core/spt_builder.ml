@@ -1,0 +1,139 @@
+module Graph = Repro_graph.Graph
+module View = Repro_runtime.View
+module Space = Repro_runtime.Space
+
+type state = { parent : int; root : int; wdist : int; hops : int }
+
+let dijkstra g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let module Q = Set.Make (struct
+    type t = int * int (* dist, node *)
+
+    let compare = compare
+  end) in
+  let q = ref (Q.singleton (0, src)) in
+  dist.(src) <- 0;
+  while not (Q.is_empty !q) do
+    let ((d, u) as elt) = Q.min_elt !q in
+    q := Q.remove elt !q;
+    if d = dist.(u) then
+      Array.iter
+        (fun (v, w) ->
+          if d + w < dist.(v) then begin
+            dist.(v) <- d + w;
+            q := Q.add (d + w, v) !q
+          end)
+        (Graph.neighbors g u)
+  done;
+  dist
+
+(* An upper bound on any simple-path weight: total edge weight + 1 acts
+   as infinity; hop counts are TTL-bounded by n as in St_layer. *)
+let infinity_of g = Graph.total_weight g + 1
+
+module P = struct
+  type nonrec state = state
+
+  let equal_state (a : state) b = a = b
+
+  let pp_state ppf s =
+    Format.fprintf ppf "(p=%d,r=%d,w=%d,h=%d)" s.parent s.root s.wdist s.hops
+
+  let size_bits n _ =
+    Space.id_bits n + Space.id_bits n + Space.weight_bits n + Space.dist_bits n
+
+  let self_root v = { parent = -1; root = v; wdist = 0; hops = 0 }
+  let initial _ v = self_root v
+
+  let random_state rng g _ =
+    let n = Graph.n g in
+    {
+      parent = Random.State.int rng (n + 1) - 1;
+      root = Random.State.int rng n;
+      wdist = Random.State.int rng (infinity_of g);
+      hops = Random.State.int rng (n + 1);
+    }
+
+  let step (view : state View.t) =
+    let s = view.View.self in
+    let id = view.View.id in
+    let n = view.View.n in
+    let usable (u : state) = u.root >= 0 && u.wdist >= 0 && u.hops + 1 <= n - 1 in
+    let parent_state =
+      if s.parent = -1 then None
+      else
+        match View.index view s.parent with
+        | i -> Some (view.View.nbrs.(i), view.View.nbr_weights.(i))
+        | exception Not_found -> None
+    in
+    let valid =
+      if s.parent = -1 then s.root = id && s.wdist = 0 && s.hops = 0
+      else
+        match parent_state with
+        | Some (p, w) ->
+            usable p && s.root = p.root && s.wdist = p.wdist + w && s.hops = p.hops + 1
+        | None -> false
+    in
+    (* Best joinable neighbor by (root, weighted distance, hops, id). *)
+    let best = ref None in
+    for i = 0 to view.View.degree - 1 do
+      let u = view.View.nbrs.(i) in
+      let w = view.View.nbr_weights.(i) in
+      if usable u then begin
+        let cand = (u.root, u.wdist + w, u.hops + 1, view.View.nbr_ids.(i)) in
+        match !best with
+        | None -> best := Some cand
+        | Some b -> if cand < b then best := Some cand
+      end
+    done;
+    let better_exists =
+      id < s.root
+      ||
+      match !best with
+      | Some (r, wd, _, _) -> (r, wd) < (s.root, s.wdist)
+      | None -> false
+    in
+    if valid && not better_exists then None
+    else begin
+      let fresh =
+        match !best with
+        | Some (r, wd, h, u) when r < id -> { parent = u; root = r; wdist = wd; hops = h }
+        | _ -> self_root id
+      in
+      if equal_state fresh s then None else Some fresh
+    end
+
+  let is_legal g sts =
+    let n = Graph.n g in
+    let d = dijkstra g ~src:0 in
+    let parent = Array.map (fun s -> s.parent) sts in
+    Repro_graph.Tree.check_parents ~root:0 parent
+    &&
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      let s = sts.(v) in
+      if s.root <> 0 || s.wdist <> d.(v) then ok := false;
+      if v <> 0 then begin
+        match Graph.find_edge g v s.parent with
+        | Some e -> if d.(s.parent) + e.Graph.Edge.w <> d.(v) then ok := false
+        | None -> ok := false
+      end
+    done;
+    !ok
+end
+
+module Engine = Repro_runtime.Engine.Make (P)
+
+let is_spt = P.is_legal
+
+let potential g sts =
+  let d = dijkstra g ~src:0 in
+  let inf = infinity_of g in
+  let total = ref 0 in
+  Array.iteri
+    (fun v (s : state) ->
+      let dv = if s.wdist < 0 then inf else min s.wdist inf in
+      total := !total + abs (dv - min d.(v) inf))
+    sts;
+  !total

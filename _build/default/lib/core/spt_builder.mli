@@ -1,0 +1,33 @@
+(** Silent self-stabilizing shortest-path spanning tree (SPT)
+    construction — the weighted sibling of the Section III BFS example,
+    covering the shortest-path-tree family the paper lists in its related
+    work ([38], [44]).
+
+    Every node maintains [(parent, root, wdist)] where [wdist] is the
+    weighted distance to the elected (min-id) root. The proof-labeling
+    scheme is the weighted distance labeling: a node rejects iff some
+    incident edge [(v,u)] has [wdist(u) + w(u,v) < wdist(v)] (the
+    Bellman-Ford optimality certificate); the repair rule relaxes to the
+    best neighbor, which is simultaneously the PLS-guided swap
+    [e = {v,u}], [f = {v, p(v)}]. Fake roots and parent cycles die by a
+    count-to-bound on the hop count, carried alongside the weighted
+    distance. O(log n)-bit registers (weights are O(log n) bits), O(n·W)
+    convergence where W bounds edge weights. *)
+
+type state = { parent : int; root : int; wdist : int; hops : int }
+
+module P : Repro_runtime.Protocol.S with type state = state
+
+module Engine : module type of Repro_runtime.Engine.Make (P)
+
+(** Weighted single-source distances (Dijkstra) from node 0 — the legality
+    reference. *)
+val dijkstra : Repro_graph.Graph.t -> src:int -> int array
+
+(** Global legality: spanning tree rooted at node 0 whose [wdist] fields
+    are the exact weighted distances and whose parent edges realize
+    them. *)
+val is_spt : Repro_graph.Graph.t -> state array -> bool
+
+(** The potential [Σ_v |wdist(v) − dist_w(v)|], capped per node. *)
+val potential : Repro_graph.Graph.t -> state array -> int

@@ -1,0 +1,109 @@
+module View = Repro_runtime.View
+module Space = Repro_runtime.Space
+module Graph = Repro_graph.Graph
+module Tree = Repro_graph.Tree
+
+type t = { parent : int; root : int; dist : int }
+
+let equal (a : t) b = a = b
+let pp ppf s = Format.fprintf ppf "(p=%d,r=%d,d=%d)" s.parent s.root s.dist
+let size_bits n _ = Space.id_bits n + Space.id_bits n + Space.dist_bits n
+let self_root id = { parent = -1; root = id; dist = 0 }
+
+let random rng ~n =
+  {
+    parent = Random.State.int rng (n + 1) - 1;
+    root = Random.State.int rng n;
+    dist = Random.State.int rng (n + 1);
+  }
+
+(* A neighbor state can serve as a parent if its (root, dist) could be
+   extended without blowing the distance TTL. *)
+let usable n (u : t) = u.root >= 0 && u.dist >= 0 && u.dist + 1 <= n - 1
+
+let parent_state view ~get s =
+  if s.parent = -1 then None
+  else
+    match View.index view s.parent with
+    | i -> Some (get view.View.nbrs.(i))
+    | exception Not_found -> None
+
+let valid_state view ~get s =
+  let n = view.View.n in
+  if s.parent = -1 then s.root = view.View.id && s.dist = 0
+  else
+    match parent_state view ~get s with
+    | Some p -> usable n p && s.root = p.root && s.dist = p.dist + 1
+    | None -> false
+
+let valid view ~get = valid_state view ~get (get view.View.self)
+
+(* Best joinable neighbor, lexicographic on (root, dist+1, id). *)
+let best_join view ~get =
+  let n = view.View.n in
+  let best = ref None in
+  for i = 0 to view.View.degree - 1 do
+    let u = get view.View.nbrs.(i) in
+    if usable n u then begin
+      let cand = (u.root, u.dist + 1, view.View.nbr_ids.(i)) in
+      match !best with
+      | None -> best := Some cand
+      | Some b -> if cand < b then best := Some cand
+    end
+  done;
+  !best
+
+let step view ~get ~keep_shape =
+  let s = get view.View.self in
+  let id = view.View.id in
+  let n = view.View.n in
+  let best = best_join view ~get in
+  let valid = valid_state view ~get s in
+  let better_exists =
+    id < s.root
+    ||
+    match best with
+    | Some (r, d, _) -> if keep_shape then r < s.root else (r, d) < (s.root, s.dist)
+    | None -> false
+  in
+  if valid && not better_exists then None
+  else begin
+    let r_best = match best with Some (r, _, _) -> min id r | None -> id in
+    let fresh =
+      if r_best = id then self_root id
+      else begin
+        (* Prefer keeping the current parent when it offers the best
+           root, so upper layers' tree surgery survives dist repair. *)
+        match parent_state view ~get s with
+        | Some p when keep_shape && usable n p && p.root = r_best ->
+            { parent = s.parent; root = r_best; dist = p.dist + 1 }
+        | _ -> (
+            match best with
+            | Some (r, d, u) when r = r_best -> { parent = u; root = r; dist = d }
+            | _ -> self_root id)
+      end
+    in
+    if fresh = s then None else Some fresh
+  end
+
+let is_legal g sts =
+  let n = Graph.n g in
+  Array.length sts = n
+  &&
+  let parent = Array.map (fun s -> s.parent) sts in
+  Tree.check_parents ~root:0 parent
+  &&
+  let t = Tree.of_parents ~root:0 parent in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if sts.(v).root <> 0 || sts.(v).dist <> Tree.depth t v then ok := false
+  done;
+  !ok
+
+let tree_of g sts =
+  let parent = Array.map (fun s -> s.parent) sts in
+  if Tree.check_parents ~root:0 parent then Some (Tree.of_parents ~root:0 parent)
+  else begin
+    ignore g;
+    None
+  end

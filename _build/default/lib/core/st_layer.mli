@@ -1,0 +1,45 @@
+(** The rooted-spanning-tree layer: silent self-stabilizing leader
+    election + tree maintenance, the "Instruction 1" of Algorithms 1-3
+    (the paper points to Datta–Larmore–Vemula for this building block).
+
+    Every node keeps [(parent, root, dist)]. Legal configurations: the
+    parent pointers form a spanning tree rooted at the minimum-id node,
+    every [root] field names it, and [dist] is the hop distance to it in
+    the tree. Convergence from arbitrary states follows the classic
+    pattern: syntactically broken states reset to self-root; strictly
+    smaller roots are joined; distances repair along parents and
+    count-to-[n] kills parent cycles and orphaned root claims.
+
+    The layer comes in two shapes:
+    - [keep_shape:false] — additionally joins a same-root neighbor at a
+      smaller distance, which makes the stable tree a {e BFS} tree (used
+      by [Bfs_builder]);
+    - [keep_shape:true] — joins only strictly smaller roots, so the
+      stable tree keeps whatever shape upper layers (MST/MDST
+      improvement) give it, repairing distances but not edges. *)
+
+type t = { parent : int; root : int; dist : int }
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val size_bits : int -> t -> int
+
+(** A node's boot state: its own one-node tree. *)
+val self_root : int -> t
+
+val random : Random.State.t -> n:int -> t
+
+(** One layer step. [get] projects the layer's fields out of the full
+    protocol state. [None] = the layer is quiescent at this node. *)
+val step : 'a Repro_runtime.View.t -> get:('a -> t) -> keep_shape:bool -> t option
+
+(** [valid view ~get] — the layer's local consistency predicate (the
+    guard that must hold before higher layers may act at this node). *)
+val valid : 'a Repro_runtime.View.t -> get:('a -> t) -> bool
+
+(** [is_legal g sts] — global legality of the layer (spanning tree rooted
+    at the min-id node with correct root/dist fields). *)
+val is_legal : Repro_graph.Graph.t -> t array -> bool
+
+(** [tree_of g sts] — the encoded tree, when legal. *)
+val tree_of : Repro_graph.Graph.t -> t array -> Repro_graph.Tree.t option

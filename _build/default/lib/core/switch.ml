@@ -1,0 +1,110 @@
+module Graph = Repro_graph.Graph
+module Tree = Repro_graph.Tree
+module R = Repro_labels.Redundant_pls
+
+type label = R.label
+type phase = Prune | Flip | Relabel
+
+type micro = { phase : phase; actor : int; tree : Tree.t; labels : label array }
+
+let local_switch g t ~labels ~v ~w' =
+  if v = Tree.root t then invalid_arg "Switch.local_switch: v is the root";
+  let w = Tree.parent t v in
+  if not (Graph.has_edge g v w') then invalid_arg "Switch.local_switch: {v,w'} not an edge";
+  if Tree.is_ancestor t v w' then invalid_arg "Switch.local_switch: w' inside subtree(v)";
+  if w' = w then invalid_arg "Switch.local_switch: w' is already the parent";
+  let labels = Array.copy labels in
+  let steps = ref [] in
+  let emit phase actor tree = steps := { phase; actor; tree; labels = Array.copy labels } :: !steps in
+  (* Phase 1: prune (top-down along both root paths, then v's strict
+     descendants in any order — we use preorder). *)
+  let prune_path target =
+    List.iter
+      (fun x ->
+        if labels.(x).R.size <> None then begin
+          labels.(x) <- R.prune_dist labels.(x);
+          emit Prune x t
+        end)
+      (List.rev (Tree.path_to_root t target))
+  in
+  prune_path w;
+  prune_path w';
+  let order = Array.init (Tree.n t) Fun.id in
+  Array.sort (fun a b -> compare (Tree.pre t a) (Tree.pre t b)) order;
+  Array.iter
+    (fun x ->
+      if x <> v && Tree.is_ancestor t v x && labels.(x).R.dist <> None then begin
+        labels.(x) <- R.prune_size labels.(x);
+        emit Prune x t
+      end)
+    order;
+  (* Phase 2: the atomic flip — v re-parents and refreshes its own
+     distance in the same register write. *)
+  let parents = Tree.parents t in
+  parents.(v) <- w';
+  let t' = Tree.of_parents ~root:(Tree.root t) parents in
+  labels.(v) <-
+    {
+      labels.(v) with
+      R.dist =
+        (match labels.(w').R.dist with
+        | Some d -> Some (d + 1)
+        | None -> invalid_arg "Switch.local_switch: w' distance was pruned");
+    };
+  emit Flip v t';
+  (* Phase 3: relabel. Sizes are restored bottom-up (deepest first,
+     across both pruned root paths together): a node regains its size
+     only after all its pruned children have, so its own size check —
+     and, once the root is reached, the root's — sees every child entry
+     present. *)
+  let pruned =
+    List.filter (fun x -> labels.(x).R.size = None) (List.init (Tree.n t') Fun.id)
+  in
+  let by_depth_desc = List.sort (fun a b -> compare (Tree.depth t' b) (Tree.depth t' a)) pruned in
+  List.iter
+    (fun x ->
+      labels.(x) <- { labels.(x) with R.size = Some (Tree.size t' x) };
+      emit Relabel x t')
+    by_depth_desc;
+  let order' = Array.init (Tree.n t') Fun.id in
+  Array.sort (fun a b -> compare (Tree.pre t' a) (Tree.pre t' b)) order';
+  Array.iter
+    (fun x ->
+      if x <> v && Tree.is_ancestor t' v x && labels.(x).R.dist = None then begin
+        labels.(x) <- { labels.(x) with R.dist = Some (Tree.depth t' x) };
+        emit Relabel x t'
+      end)
+    order';
+  (List.rev !steps, t', labels)
+
+let execute g t ~add:(x, y) ~remove:(a, b) =
+  if not (Tree.mem_edge t a b) then invalid_arg "Switch.execute: remove not a tree edge";
+  if Tree.mem_edge t x y then invalid_arg "Switch.execute: add already a tree edge";
+  let child = if Tree.parent t a = b then a else b in
+  let in_detached z = Tree.is_ancestor t child z in
+  let c, outside =
+    match (in_detached x, in_detached y) with
+    | true, false -> (x, y)
+    | false, true -> (y, x)
+    | _ -> invalid_arg "Switch.execute: add does not cross the cut of remove"
+  in
+  (* The chain: path from c up to child (inclusive); each node re-parents
+     onto its predecessor, c onto [outside]. *)
+  let rec chain z acc = if z = child then List.rev (z :: acc) else chain (Tree.parent t z) (z :: acc) in
+  let path = chain c [] (* c, ..., child *) in
+  let labels = ref (R.prover t) in
+  let tree = ref t in
+  let steps = ref [] in
+  let rec go targets nodes =
+    match (nodes, targets) with
+    | [], _ -> ()
+    | v :: rest, target :: _ ->
+        let s, t', l' = local_switch g !tree ~labels:!labels ~v ~w':target in
+        steps := !steps @ s;
+        tree := t';
+        labels := l';
+        go (v :: targets) rest
+    | _ -> assert false
+  in
+  go [ outside ] path;
+  (!steps, !tree)

@@ -1,0 +1,62 @@
+(** Silent loop-free edge switching (Section IV, Figure 1).
+
+    [T ← T + e − f] is performed as a chain of {e local} switches along
+    the reversed tree path (Figure 1a): writing the part of the
+    fundamental cycle of [e = {x,y}] between the child endpoint of
+    [f = {a,b}] and the endpoint of [e] inside the detached subtree as
+    [u_1, …, u_k = c] (so [f = {u_1, p(u_1)}]), first [c] re-parents onto
+    the other endpoint of [e], then each [u_i] re-parents onto its former
+    child [u_{i+1}]. Each hop is a local switch between two neighbors, so
+    the structure is a spanning tree after {e every} atomic step — the
+    construction is loop-free.
+
+    Each local switch runs the three phases of Figure 1b on the
+    {e redundant} labeling, keeping the malleable verifier of Lemma 4.1
+    accepting throughout:
+
+    + {e pruning}: labels on the root→w and root→w' paths drop their size
+      entry (top-down, preserving C1), and the strict descendants of [v]
+      drop their distance entry (C2 holds because [v] keeps its label);
+    + {e switching}: once [w], [w'] are pruned and [v]'s children carry
+      no distance entry, [v] atomically sets [parent := w'] and
+      [dist := dist(w') + 1];
+    + {e relabeling}: sizes are recomputed bottom-up along both paths,
+      then distances top-down inside [v]'s subtree, restoring the full
+      redundant labeling of the new tree.
+
+    The returned micro-step trace exposes every intermediate
+    configuration so tests and experiment E3 can assert that no verifier
+    ever rejects and that every configuration is a spanning tree. *)
+
+type label = Repro_labels.Redundant_pls.label
+type phase = Prune | Flip | Relabel
+
+type micro = {
+  phase : phase;
+  actor : int;  (** the node whose register changed *)
+  tree : Repro_graph.Tree.t;  (** the structure after the step *)
+  labels : label array;  (** redundant labels after the step *)
+}
+
+(** [local_switch g t ~labels ~v ~w'] replaces the tree edge [{v, p(v)}]
+    by the graph edge [{v, w'}] ([w'] a neighbor of [v] outside [v]'s
+    subtree), returning the micro-step trace and the final tree/labels.
+    @raise Invalid_argument if preconditions fail. *)
+val local_switch :
+  Repro_graph.Graph.t ->
+  Repro_graph.Tree.t ->
+  labels:label array ->
+  v:int ->
+  w':int ->
+  micro list * Repro_graph.Tree.t * label array
+
+(** [execute g t ~add ~remove] performs [T + add − remove] as the full
+    chain of local switches, starting from the prover's labels of [t].
+    Returns the complete micro-step trace and the final tree. The final
+    labels equal the prover's labels on the final tree. *)
+val execute :
+  Repro_graph.Graph.t ->
+  Repro_graph.Tree.t ->
+  add:int * int ->
+  remove:int * int ->
+  micro list * Repro_graph.Tree.t

@@ -1,0 +1,1 @@
+lib/graph/min_degree.ml: Array Graph Hashtbl List Option Tree Union_find

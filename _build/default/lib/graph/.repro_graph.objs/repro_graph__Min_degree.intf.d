@@ -1,0 +1,1 @@
+lib/graph/min_degree.mli: Graph Tree

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Graph Hashtbl List Queue Set Tree Union_find

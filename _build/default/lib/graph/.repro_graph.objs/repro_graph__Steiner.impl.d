@@ -1,0 +1,1 @@
+lib/graph/steiner.ml: Array Graph Hashtbl List Min_degree Option Printf Queue Set Union_find

@@ -1,0 +1,292 @@
+(* All generators first build an unweighted edge set, then assign a random
+   permutation of [1..m] as weights, so weights are always pairwise
+   distinct. *)
+
+let shuffle st a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let weigh st pairs =
+  let pairs = Array.of_list pairs in
+  let m = Array.length pairs in
+  let weights = Array.init m (fun i -> i + 1) in
+  shuffle st weights;
+  Array.to_list (Array.mapi (fun i (u, v) -> (u, v, weights.(i))) pairs)
+
+let of_pairs st n pairs = Graph.of_edges n (weigh st pairs)
+
+(* Stitch disconnected components together with random cross edges so the
+   result is connected, as the paper assumes connected networks. *)
+let connect st n pairs =
+  let present = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun (u, v) -> Hashtbl.add present (min u v, max u v) ())
+    pairs;
+  let uf = Union_find.create n in
+  List.iter (fun (u, v) -> ignore (Union_find.union uf u v)) pairs;
+  let reps = Array.init n (fun i -> i) in
+  shuffle st reps;
+  let extra = ref [] in
+  Array.iter
+    (fun v ->
+      if not (Union_find.same uf 0 v) then begin
+        (* Link [v]'s component to component of node 0 via a random node
+           already connected to 0. *)
+        let rec pick () =
+          let u = Random.State.int st n in
+          if Union_find.same uf 0 u && not (Hashtbl.mem present (min u v, max u v))
+          then u
+          else pick ()
+        in
+        let u = pick () in
+        Hashtbl.add present (min u v, max u v) ();
+        ignore (Union_find.union uf u v);
+        extra := (u, v) :: !extra
+      end)
+    reps;
+  pairs @ !extra
+
+let gnp st ~n ~p =
+  if n < 1 then invalid_arg "Generators.gnp: n < 1";
+  let pairs = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then pairs := (u, v) :: !pairs
+    done
+  done;
+  of_pairs st n (connect st n !pairs)
+
+let prufer_tree st n =
+  if n = 1 then []
+  else if n = 2 then [ (0, 1) ]
+  else begin
+    let seq = Array.init (n - 2) (fun _ -> Random.State.int st n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun x -> deg.(x) <- deg.(x) + 1) seq;
+    let edges = ref [] in
+    let module H = Set.Make (Int) in
+    let leaves = ref H.empty in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then leaves := H.add v !leaves
+    done;
+    Array.iter
+      (fun x ->
+        let leaf = H.min_elt !leaves in
+        leaves := H.remove leaf !leaves;
+        edges := (leaf, x) :: !edges;
+        deg.(x) <- deg.(x) - 1;
+        if deg.(x) = 1 then leaves := H.add x !leaves)
+      seq;
+    let a = H.min_elt !leaves in
+    let b = H.max_elt !leaves in
+    (a, b) :: !edges
+  end
+
+let random_tree st ~n = of_pairs st n (prufer_tree st n)
+
+let random_connected st ~n ~m =
+  let tree = prufer_tree st n in
+  let present = Hashtbl.create m in
+  List.iter (fun (u, v) -> Hashtbl.add present (min u v, max u v) ()) tree;
+  let target = max m (n - 1) in
+  let max_edges = n * (n - 1) / 2 in
+  let target = min target max_edges in
+  let extra = ref [] in
+  let count = ref (List.length tree) in
+  while !count < target do
+    let u = Random.State.int st n and v = Random.State.int st n in
+    if u <> v && not (Hashtbl.mem present (min u v, max u v)) then begin
+      Hashtbl.add present (min u v, max u v) ();
+      extra := (u, v) :: !extra;
+      incr count
+    end
+  done;
+  of_pairs st n (tree @ !extra)
+
+let geometric st ~n ~radius =
+  let xs = Array.init n (fun _ -> Random.State.float st 1.0) in
+  let ys = Array.init n (fun _ -> Random.State.float st 1.0) in
+  let r2 = radius *. radius in
+  let pairs = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      if (dx *. dx) +. (dy *. dy) <= r2 then pairs := (u, v) :: !pairs
+    done
+  done;
+  of_pairs st n (connect st n !pairs)
+
+let grid st ~rows ~cols =
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let pairs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then pairs := (id r c, id r (c + 1)) :: !pairs;
+      if r + 1 < rows then pairs := (id r c, id (r + 1) c) :: !pairs
+    done
+  done;
+  of_pairs st n !pairs
+
+let torus st ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus: needs >= 3x3";
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let pairs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      pairs := (id r c, id r ((c + 1) mod cols)) :: !pairs;
+      pairs := (id r c, id ((r + 1) mod rows) c) :: !pairs
+    done
+  done;
+  of_pairs st n !pairs
+
+let ring st ~n =
+  if n < 3 then invalid_arg "Generators.ring: n < 3";
+  of_pairs st n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path st ~n =
+  if n < 2 then invalid_arg "Generators.path: n < 2";
+  of_pairs st n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star st ~n =
+  if n < 2 then invalid_arg "Generators.star: n < 2";
+  of_pairs st n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete st ~n =
+  let pairs = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      pairs := (u, v) :: !pairs
+    done
+  done;
+  of_pairs st n !pairs
+
+let hypercube st ~dim =
+  let n = 1 lsl dim in
+  let pairs = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then pairs := (u, v) :: !pairs
+    done
+  done;
+  of_pairs st n !pairs
+
+let lollipop st ~clique ~tail =
+  if clique < 2 then invalid_arg "Generators.lollipop: clique < 2";
+  let n = clique + tail in
+  let pairs = ref [] in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      pairs := (u, v) :: !pairs
+    done
+  done;
+  for i = 0 to tail - 1 do
+    let prev = if i = 0 then clique - 1 else clique + i - 1 in
+    pairs := (prev, clique + i) :: !pairs
+  done;
+  of_pairs st n !pairs
+
+let caterpillar st ~spine ~legs =
+  if spine < 1 then invalid_arg "Generators.caterpillar: spine < 1";
+  let n = spine * (1 + legs) in
+  let pairs = ref [] in
+  for i = 0 to spine - 2 do
+    pairs := (i, i + 1) :: !pairs
+  done;
+  for i = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      pairs := (i, spine + (i * legs) + l) :: !pairs
+    done
+  done;
+  of_pairs st n !pairs
+
+let barabasi_albert st ~n ~m0 =
+  if m0 < 1 then invalid_arg "Generators.barabasi_albert: m0 < 1";
+  if n < m0 + 1 then invalid_arg "Generators.barabasi_albert: n too small";
+  (* Start from a star on m0+1 nodes; every later node attaches to m0
+     distinct targets sampled by degree (via the endpoint-list trick). *)
+  let pairs = ref [] in
+  let endpoints = ref [] in
+  let add u v =
+    pairs := (u, v) :: !pairs;
+    endpoints := u :: v :: !endpoints
+  in
+  for v = 1 to m0 do
+    add 0 v
+  done;
+  let endpoint_array () = Array.of_list !endpoints in
+  for v = m0 + 1 to n - 1 do
+    let eps = endpoint_array () in
+    let chosen = Hashtbl.create m0 in
+    let guard = ref 0 in
+    while Hashtbl.length chosen < m0 && !guard < 100 * m0 do
+      incr guard;
+      let t = eps.(Random.State.int st (Array.length eps)) in
+      if t <> v && not (Hashtbl.mem chosen t) then Hashtbl.add chosen t ()
+    done;
+    (* Fallback: complete the attachment deterministically if sampling
+       stalled (tiny graphs). *)
+    let u = ref 0 in
+    while Hashtbl.length chosen < m0 do
+      if !u <> v && not (Hashtbl.mem chosen !u) then Hashtbl.add chosen !u ();
+      incr u
+    done;
+    Hashtbl.iter (fun t () -> add t v) chosen
+  done;
+  of_pairs st n !pairs
+
+let isqrt x =
+  let r = int_of_float (sqrt (float_of_int x)) in
+  if (r + 1) * (r + 1) <= x then r + 1 else r
+
+let by_name = function
+  | "gnp" -> Some (fun st ~n -> gnp st ~n ~p:(4.0 /. float_of_int (max n 2)))
+  | "dense" -> Some (fun st ~n -> gnp st ~n ~p:0.5)
+  | "geometric" ->
+      Some
+        (fun st ~n ->
+          geometric st ~n
+            ~radius:(2.0 *. sqrt (log (float_of_int (max n 2)) /. float_of_int n)))
+  | "grid" ->
+      Some
+        (fun st ~n ->
+          let r = max 2 (isqrt n) in
+          grid st ~rows:r ~cols:(max 2 ((n + r - 1) / r)))
+  | "torus" ->
+      Some
+        (fun st ~n ->
+          let r = max 3 (isqrt n) in
+          torus st ~rows:r ~cols:(max 3 ((n + r - 1) / r)))
+  | "ring" -> Some (fun st ~n -> ring st ~n:(max 3 n))
+  | "path" -> Some (fun st ~n -> path st ~n:(max 2 n))
+  | "star" -> Some (fun st ~n -> star st ~n:(max 2 n))
+  | "complete" -> Some (fun st ~n -> complete st ~n)
+  | "hypercube" ->
+      Some
+        (fun st ~n ->
+          let rec dim_of k acc = if 1 lsl acc >= k then acc else dim_of k (acc + 1) in
+          hypercube st ~dim:(max 1 (dim_of n 0)))
+  | "lollipop" ->
+      Some (fun st ~n -> lollipop st ~clique:(max 2 (n / 2)) ~tail:(n - max 2 (n / 2)))
+  | "caterpillar" ->
+      Some
+        (fun st ~n ->
+          let spine = max 1 (n / 4) in
+          caterpillar st ~spine ~legs:(max 1 ((n / spine) - 1)))
+  | "random" -> Some (fun st ~n -> random_connected st ~n ~m:(2 * n))
+  | "scale-free" -> Some (fun st ~n -> barabasi_albert st ~n:(max 4 n) ~m0:2)
+  | "tree" -> Some (fun st ~n -> random_tree st ~n)
+  | _ -> None
+
+let all_names =
+  [
+    "gnp"; "dense"; "geometric"; "grid"; "torus"; "ring"; "path"; "star";
+    "complete"; "hypercube"; "lollipop"; "caterpillar"; "random"; "tree";
+    "scale-free";
+  ]

@@ -1,0 +1,68 @@
+(** Deterministic pseudo-random and structured graph generators.
+
+    All generators produce simple connected graphs with pairwise-distinct
+    edge weights (a random permutation of [1..m] unless stated otherwise),
+    matching the paper's model assumptions. Randomized generators are
+    driven by an explicit [Random.State.t] so every experiment is
+    reproducible from its seed. *)
+
+(** [gnp st ~n ~p] is an Erdős–Rényi graph conditioned on connectivity:
+    edges are kept with probability [p], then any disconnected components
+    are stitched with uniformly random cross edges. *)
+val gnp : Random.State.t -> n:int -> p:float -> Graph.t
+
+(** [random_connected st ~n ~m] has exactly [max m (n-1)] edges: a uniform
+    random spanning tree first, then random extra edges. *)
+val random_connected : Random.State.t -> n:int -> m:int -> Graph.t
+
+(** [geometric st ~n ~radius] is a random geometric graph on the unit
+    square (the sensor-network topology of the paper's MDST motivation),
+    stitched to connectivity like {!gnp}. *)
+val geometric : Random.State.t -> n:int -> radius:float -> Graph.t
+
+(** [grid st ~rows ~cols] is the [rows × cols] grid. *)
+val grid : Random.State.t -> rows:int -> cols:int -> Graph.t
+
+(** [torus st ~rows ~cols] is the grid with wraparound edges;
+    requires [rows >= 3] and [cols >= 3] to stay simple. *)
+val torus : Random.State.t -> rows:int -> cols:int -> Graph.t
+
+(** [ring st ~n] is the cycle on [n >= 3] nodes. *)
+val ring : Random.State.t -> n:int -> Graph.t
+
+(** [path st ~n] is the path on [n] nodes. *)
+val path : Random.State.t -> n:int -> Graph.t
+
+(** [star st ~n] is the star with center [0]. *)
+val star : Random.State.t -> n:int -> Graph.t
+
+(** [complete st ~n] is K_n. *)
+val complete : Random.State.t -> n:int -> Graph.t
+
+(** [hypercube st ~dim] is the [dim]-dimensional hypercube (2^dim nodes). *)
+val hypercube : Random.State.t -> dim:int -> Graph.t
+
+(** [lollipop st ~clique ~tail] is K_[clique] with a path of [tail] nodes
+    attached — a classic hard case for tree-degree heuristics. *)
+val lollipop : Random.State.t -> clique:int -> tail:int -> Graph.t
+
+(** [caterpillar st ~spine ~legs] is a spine path where every spine node
+    carries [legs] pendant leaves — worst-case degree spread for MDST. *)
+val caterpillar : Random.State.t -> spine:int -> legs:int -> Graph.t
+
+(** [random_tree st ~n] is a uniform random labeled tree (Prüfer). *)
+val random_tree : Random.State.t -> n:int -> Graph.t
+
+(** [barabasi_albert st ~n ~m0] — preferential attachment: each new node
+    attaches to [m0] existing nodes sampled proportionally to degree.
+    Produces the hub-heavy topologies that stress minimum-degree
+    spanning-tree constructions. *)
+val barabasi_albert : Random.State.t -> n:int -> m0:int -> Graph.t
+
+(** Named generator lookup for the CLI and benches:
+    ["gnp"; "geometric"; "grid"; "ring"; "complete"; "hypercube";
+    "lollipop"; "caterpillar"; "random"; "tree"; "path"; "star"; "torus"].
+    The parameter is interpreted per family (e.g. [p] for gnp). *)
+val by_name : string -> (Random.State.t -> n:int -> Graph.t) option
+
+val all_names : string list

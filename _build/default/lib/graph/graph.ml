@@ -1,0 +1,116 @@
+module Edge = struct
+  type t = { u : int; v : int; w : int }
+
+  let make u v w =
+    if u = v then invalid_arg "Edge.make: self-loop"
+    else if u < v then { u; v; w }
+    else { u = v; v = u; w }
+
+  let compare a b =
+    let c = compare a.w b.w in
+    if c <> 0 then c
+    else
+      let c = compare a.u b.u in
+      if c <> 0 then c else compare a.v b.v
+
+  let equal a b = a.u = b.u && a.v = b.v && a.w = b.w
+  let mem e x = e.u = x || e.v = x
+
+  let other e x =
+    if e.u = x then e.v
+    else if e.v = x then e.u
+    else invalid_arg "Edge.other: not an endpoint"
+
+  let pp ppf e = Format.fprintf ppf "{%d,%d}/%d" e.u e.v e.w
+end
+
+type t = {
+  n : int;
+  edges : Edge.t array;
+  adj : (int * int) array array; (* (neighbor, weight), sorted by neighbor *)
+}
+
+let of_edge_list n es =
+  if n <= 0 then invalid_arg "Graph.of_edge_list: n must be positive";
+  let seen = Hashtbl.create (List.length es) in
+  List.iter
+    (fun (e : Edge.t) ->
+      if e.u < 0 || e.v >= n then
+        invalid_arg "Graph.of_edge_list: endpoint out of range";
+      if Hashtbl.mem seen (e.u, e.v) then
+        invalid_arg "Graph.of_edge_list: duplicate edge";
+      Hashtbl.add seen (e.u, e.v) ())
+    es;
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (e : Edge.t) ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    es;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (e : Edge.t) ->
+      adj.(e.u).(fill.(e.u)) <- (e.v, e.w);
+      fill.(e.u) <- fill.(e.u) + 1;
+      adj.(e.v).(fill.(e.v)) <- (e.u, e.w);
+      fill.(e.v) <- fill.(e.v) + 1)
+    es;
+  Array.iter (fun a -> Array.sort compare a) adj;
+  { n; edges = Array.of_list es; adj }
+
+let of_edges n es =
+  of_edge_list n (List.map (fun (u, v, w) -> Edge.make u v w) es)
+
+let n g = g.n
+let m g = Array.length g.edges
+let edges g = Array.copy g.edges
+let neighbors g v = g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+(* Binary search in the sorted adjacency row of [u]. *)
+let lookup g u v =
+  let row = g.adj.(u) in
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let x, w = row.(mid) in
+      if x = v then Some w else if x < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length row)
+
+let has_edge g u v = lookup g u v <> None
+
+let weight g u v =
+  match lookup g u v with Some w -> w | None -> raise Not_found
+
+let find_edge g u v =
+  match lookup g u v with Some w -> Some (Edge.make u v w) | None -> None
+
+let fold_edges f init g = Array.fold_left (fun acc e -> f e acc) init g.edges
+let iter_edges f g = Array.iter f g.edges
+let total_weight g = fold_edges (fun e acc -> acc + e.Edge.w) 0 g
+
+let distinct_weights g =
+  let tbl = Hashtbl.create (m g) in
+  try
+    iter_edges
+      (fun e ->
+        if Hashtbl.mem tbl e.Edge.w then raise Exit
+        else Hashtbl.add tbl e.Edge.w ())
+      g;
+    true
+  with Exit -> false
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);
+  iter_edges (fun e -> Format.fprintf ppf "  %a@," Edge.pp e) g;
+  Format.fprintf ppf "@]"

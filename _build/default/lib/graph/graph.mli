@@ -1,0 +1,94 @@
+(** Simple connected undirected edge-weighted graphs.
+
+    This is the network model of the paper (Section II-A): nodes are
+    [0 .. n-1]; every node has a distinct, incorruptible identity and knows
+    the (distinct, incorruptible) weights of its incident edges.
+
+    Weights are [int]s. The paper assumes pairwise-distinct weights
+    (w.l.o.g., citing Gallager–Humblet–Spira); every comparison in this
+    repository goes through {!Edge.compare}, which breaks residual ties by
+    endpoints, so even graphs built with duplicate raw weights behave as if
+    the weights were distinct. *)
+
+module Edge : sig
+  (** An undirected weighted edge, normalized so that [u < v]. *)
+  type t = private { u : int; v : int; w : int }
+
+  (** [make u v w] builds a normalized edge. @raise Invalid_argument on a
+      self-loop. *)
+  val make : int -> int -> int -> t
+
+  (** Total order by [(w, u, v)]: weight first, ties broken by endpoints.
+      This realizes the paper's "all weights pairwise distinct" assumption. *)
+  val compare : t -> t -> int
+
+  val equal : t -> t -> bool
+
+  (** [other e x] is the endpoint of [e] that is not [x].
+      @raise Invalid_argument if [x] is not an endpoint. *)
+  val other : t -> int -> int
+
+  (** [mem e x] is [true] iff [x] is an endpoint of [e]. *)
+  val mem : t -> int -> bool
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_edges n edges] builds a graph on nodes [0..n-1].
+    @raise Invalid_argument on out-of-range endpoints, self-loops, or
+    duplicate (parallel) edges. *)
+val of_edges : int -> (int * int * int) list -> t
+
+(** Same as {!of_edges} from already-normalized edges. *)
+val of_edge_list : int -> Edge.t list -> t
+
+(** {1 Accessors} *)
+
+(** Number of nodes. *)
+val n : t -> int
+
+(** Number of edges. *)
+val m : t -> int
+
+(** All edges, in unspecified but fixed order. The returned array is fresh. *)
+val edges : t -> Edge.t array
+
+(** [neighbors g v] is the array of [(neighbor, weight)] pairs of [v], in
+    increasing neighbor order. The returned array is shared: do not mutate. *)
+val neighbors : t -> int -> (int * int) array
+
+(** [degree g v] is the number of neighbors of [v] in [g]. *)
+val degree : t -> int -> int
+
+(** Maximum degree over all nodes. *)
+val max_degree : t -> int
+
+(** [has_edge g u v] tests adjacency. *)
+val has_edge : t -> int -> int -> bool
+
+(** [weight g u v] is the weight of edge [{u,v}].
+    @raise Not_found if the edge is absent. *)
+val weight : t -> int -> int -> int
+
+(** [find_edge g u v] is the normalized edge between [u] and [v], if any. *)
+val find_edge : t -> int -> int -> Edge.t option
+
+(** [fold_edges f init g] folds over all edges. *)
+val fold_edges : (Edge.t -> 'a -> 'a) -> 'a -> t -> 'a
+
+(** [iter_edges f g] iterates over all edges. *)
+val iter_edges : (Edge.t -> unit) -> t -> unit
+
+(** Total weight of all edges. *)
+val total_weight : t -> int
+
+(** [distinct_weights g] is [true] iff all raw weights are pairwise
+    distinct. (Not required — see {!Edge.compare} — but generators
+    guarantee it.) *)
+val distinct_weights : t -> bool
+
+val pp : Format.formatter -> t -> unit

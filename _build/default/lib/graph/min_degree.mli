@@ -1,0 +1,45 @@
+(** Sequential minimum-degree spanning tree (MDST) algorithms.
+
+    Computing a spanning tree of degree [Δmin(G)] is NP-hard (Section II-B
+    of the paper), but Fürer and Raghavachari's local-search algorithm
+    (the paper's Algorithm 4) finds a spanning tree of degree at most
+    [Δmin(G) + 1] in polynomial time. It stabilizes on an {e FR-tree}
+    (Definition 8.1): a tree whose nodes can be marked good/bad such that
+    (1) every maximum-degree node is bad, (2) every node of degree
+    ≤ deg(T) − 2 is good, and (3) no graph edge joins good nodes of two
+    different fragments (components of T minus bad nodes).
+
+    The self-stabilizing MDST builder is validated against this module. *)
+
+type marking = { good : bool array; fragment : int array }
+(** A witness marking: [good.(v)] per Definition 8.1, and [fragment.(v)] =
+    the minimum node id of [v]'s fragment ([-1] for bad nodes). *)
+
+(** [furer_raghavachari g ~root] runs the paper's Algorithm 4 starting
+    from the BFS tree at [root]. Returns the resulting FR-tree together
+    with a witness marking and the number of applied improvements. *)
+val furer_raghavachari : Graph.t -> root:int -> Tree.t * marking * int
+
+(** [improve_once g t] — one step of the local search: run the marking
+    closure and, if some maximum-degree node became good, apply the
+    innermost swap of the corresponding well-nested improvement sequence
+    (Section VII). [None] iff [t] is already an FR-tree. *)
+val improve_once : Graph.t -> Tree.t -> Tree.t option
+
+(** [is_fr_tree g t marking] checks Definition 8.1 against a given
+    marking. *)
+val is_fr_tree : Graph.t -> Tree.t -> marking -> bool
+
+(** [find_marking g t] searches for a witness marking of [t] by the
+    closure process of Algorithm 4 (marking propagation without applying
+    improvements). Returns [None] when some maximum-degree node becomes
+    good — i.e. [t] is {e not} an FR-tree. *)
+val find_marking : Graph.t -> Tree.t -> marking option
+
+(** [exact g] is [Δmin(G)], by branch-and-bound over spanning trees.
+    Exponential; intended for [n ≲ 12] in tests. *)
+val exact : Graph.t -> int
+
+(** [exists_tree_with_degree g k] — is there a spanning tree of degree
+    ≤ [k]? Exponential search with pruning. *)
+val exists_tree_with_degree : Graph.t -> int -> bool

@@ -1,0 +1,104 @@
+module E = Graph.Edge
+
+let kruskal g =
+  let edges = Graph.edges g in
+  Array.sort E.compare edges;
+  let uf = Union_find.create (Graph.n g) in
+  let acc = ref [] in
+  Array.iter
+    (fun (e : E.t) -> if Union_find.union uf e.u e.v then acc := e :: !acc)
+    edges;
+  if Union_find.count uf <> 1 then invalid_arg "Mst.kruskal: disconnected";
+  List.rev !acc
+
+let prim g ~src =
+  let n = Graph.n g in
+  let in_tree = Array.make n false in
+  in_tree.(src) <- true;
+  let module S = Set.Make (struct
+    type t = E.t * int (* candidate edge, outside endpoint *)
+
+    let compare (a, _) (b, _) = E.compare a b
+  end) in
+  let frontier = ref S.empty in
+  let add_candidates u =
+    Array.iter
+      (fun (v, w) ->
+        if not in_tree.(v) then frontier := S.add (E.make u v w, v) !frontier)
+      (Graph.neighbors g u)
+  in
+  add_candidates src;
+  let acc = ref [] in
+  let count = ref 1 in
+  while !count < n do
+    match S.min_elt_opt !frontier with
+    | None -> invalid_arg "Mst.prim: disconnected"
+    | Some ((e, v) as elt) ->
+        frontier := S.remove elt !frontier;
+        if not in_tree.(v) then begin
+          in_tree.(v) <- true;
+          incr count;
+          acc := e :: !acc;
+          add_candidates v
+        end
+  done;
+  List.rev !acc
+
+let boruvka g =
+  let n = Graph.n g in
+  let uf = Union_find.create n in
+  let acc = ref [] in
+  let phases = ref 0 in
+  while Union_find.count uf > 1 do
+    incr phases;
+    if !phases > n then invalid_arg "Mst.boruvka: disconnected";
+    (* Lightest outgoing edge per fragment. *)
+    let best : (int, E.t) Hashtbl.t = Hashtbl.create 16 in
+    Graph.iter_edges
+      (fun e ->
+        let fu = Union_find.find uf e.E.u and fv = Union_find.find uf e.E.v in
+        if fu <> fv then begin
+          let update f =
+            match Hashtbl.find_opt best f with
+            | Some cur when E.compare cur e <= 0 -> ()
+            | _ -> Hashtbl.replace best f e
+          in
+          update fu;
+          update fv
+        end)
+      g;
+    if Hashtbl.length best = 0 then invalid_arg "Mst.boruvka: disconnected";
+    Hashtbl.iter
+      (fun _ e -> if Union_find.union uf e.E.u e.E.v then acc := e :: !acc)
+      best
+  done;
+  (List.sort E.compare !acc, !phases)
+
+let weight_of edges = List.fold_left (fun acc (e : E.t) -> acc + e.w) 0 edges
+let mst_weight g = weight_of (kruskal g)
+
+let tree_of g edges ~root =
+  let n = Graph.n g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (e : E.t) ->
+      adj.(e.u) <- e.v :: adj.(e.u);
+      adj.(e.v) <- e.u :: adj.(e.v))
+    edges;
+  let parent = Array.make n (-2) in
+  parent.(root) <- -1;
+  let q = Queue.create () in
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if parent.(v) = -2 then begin
+          parent.(v) <- u;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  Tree.of_parents ~root parent
+
+let is_mst g t = Tree.weight t g = mst_weight g

@@ -1,0 +1,32 @@
+(** Sequential reference algorithms for minimum-weight spanning trees.
+
+    Because all edge comparisons use {!Graph.Edge.compare} (distinct
+    weights), the MST of every connected graph is unique; the three
+    algorithms below must therefore return identical edge sets, which the
+    test suite checks. The self-stabilizing MST builder (Algorithm 2 of
+    the paper) is validated against {!kruskal}. *)
+
+(** [kruskal g] is the MST edge set. @raise Invalid_argument if [g] is
+    disconnected. *)
+val kruskal : Graph.t -> Graph.Edge.t list
+
+(** [prim g ~src] — same tree, Jarník–Prim order. *)
+val prim : Graph.t -> src:int -> Graph.Edge.t list
+
+(** [boruvka g] — same tree, Borůvka fragment-merging order (the paper's
+    Section VI describes the MST labels as a trace of this algorithm).
+    Also returns the number of merge phases, which is ≤ ⌈log₂ n⌉. *)
+val boruvka : Graph.t -> Graph.Edge.t list * int
+
+(** Total weight of an edge list. *)
+val weight_of : Graph.Edge.t list -> int
+
+(** [mst_weight g] is the weight of the (unique) MST. *)
+val mst_weight : Graph.t -> int
+
+(** [tree_of g edges ~root] converts an MST edge list into a rooted
+    {!Tree.t}. *)
+val tree_of : Graph.t -> Graph.Edge.t list -> root:int -> Tree.t
+
+(** [is_mst g t] — true iff the spanning tree [t] is the MST of [g]. *)
+val is_mst : Graph.t -> Tree.t -> bool

@@ -1,0 +1,277 @@
+module E = Graph.Edge
+
+type t = { nodes : int list; edges : E.t list }
+
+let degree st =
+  let tbl = Hashtbl.create 16 in
+  let bump v = Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)) in
+  List.iter
+    (fun (e : E.t) ->
+      bump e.u;
+      bump e.v)
+    st.edges;
+  Hashtbl.fold (fun _ d acc -> max acc d) tbl 0
+
+let weight st = List.fold_left (fun acc (e : E.t) -> acc + e.E.w) 0 st.edges
+
+let degrees_of st =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace tbl v 0) st.nodes;
+  List.iter
+    (fun (e : E.t) ->
+      Hashtbl.replace tbl e.u (1 + Hashtbl.find tbl e.u);
+      Hashtbl.replace tbl e.v (1 + Hashtbl.find tbl e.v))
+    st.edges;
+  tbl
+
+let check g ~terminals st =
+  let nodes = List.sort_uniq compare st.nodes in
+  List.length st.edges = List.length nodes - 1
+  && List.for_all (fun t -> List.mem t nodes) terminals
+  && List.for_all
+       (fun (e : E.t) ->
+         Graph.has_edge g e.u e.v && List.mem e.u nodes && List.mem e.v nodes)
+       st.edges
+  &&
+  (* connectivity over the node set *)
+  let uf = Union_find.create (Graph.n g) in
+  List.iter (fun (e : E.t) -> ignore (Union_find.union uf e.u e.v)) st.edges;
+  match nodes with
+  | [] -> false
+  | first :: rest -> List.for_all (fun v -> Union_find.same uf first v) rest
+
+(* Shortest paths (weighted) from [src], with predecessor tracking. *)
+let dijkstra_paths g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let pred = Array.make n (-1) in
+  let module Q = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let q = ref (Q.singleton (0, src)) in
+  dist.(src) <- 0;
+  while not (Q.is_empty !q) do
+    let ((d, u) as elt) = Q.min_elt !q in
+    q := Q.remove elt !q;
+    if d = dist.(u) then
+      Array.iter
+        (fun (v, w) ->
+          if d + w < dist.(v) then begin
+            dist.(v) <- d + w;
+            pred.(v) <- u;
+            q := Q.add (d + w, v) !q
+          end)
+        (Graph.neighbors g u)
+  done;
+  (dist, pred)
+
+let metric_mst g ~terminals =
+  let terminals = List.sort_uniq compare terminals in
+  if terminals = [] then invalid_arg "Steiner.metric_mst: no terminals";
+  match terminals with
+  | [ t ] -> { nodes = [ t ]; edges = [] }
+  | _ ->
+      let paths = List.map (fun t -> (t, dijkstra_paths g ~src:t)) terminals in
+      List.iter
+        (fun (t, (dist, _)) ->
+          List.iter
+            (fun t' ->
+              if dist.(t') = max_int then
+                invalid_arg
+                  (Printf.sprintf "Steiner.metric_mst: terminals %d and %d disconnected" t t'))
+            terminals)
+        paths;
+      (* Kruskal over the terminal metric closure. *)
+      let closure =
+        List.concat_map
+          (fun (t, (dist, _)) ->
+            List.filter_map
+              (fun t' -> if t < t' then Some (dist.(t'), t, t') else None)
+              terminals)
+          paths
+      in
+      let closure = List.sort compare closure in
+      let uf = Union_find.create (Graph.n g) in
+      let edge_set = Hashtbl.create 32 in
+      let node_set = Hashtbl.create 32 in
+      List.iter (fun t -> Hashtbl.replace node_set t ()) terminals;
+      List.iter
+        (fun (_, a, b) ->
+          if Union_find.union uf a b then begin
+            (* Unfold the metric edge into the real shortest path a..b. *)
+            let _, pred = List.assoc a paths in
+            let rec walk v =
+              Hashtbl.replace node_set v ();
+              if v <> a then begin
+                let p = pred.(v) in
+                let w = Graph.weight g v p in
+                let e = E.make v p w in
+                Hashtbl.replace edge_set (e.E.u, e.E.v) e;
+                walk p
+              end
+            in
+            walk b
+          end)
+        closure;
+      (* The union of shortest paths can contain cycles; keep a spanning
+         forest of it via Kruskal and the involved nodes. *)
+      let edges = Hashtbl.fold (fun _ e acc -> e :: acc) edge_set [] in
+      let edges = List.sort E.compare edges in
+      let uf2 = Union_find.create (Graph.n g) in
+      let kept =
+        List.filter (fun (e : E.t) -> Union_find.union uf2 e.u e.v) edges
+      in
+      { nodes = Hashtbl.fold (fun v () acc -> v :: acc) node_set []; edges = kept }
+
+let prune ~terminals st =
+  let is_terminal = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace is_terminal t ()) terminals;
+  let rec go st =
+    let deg = degrees_of st in
+    let drop =
+      List.filter
+        (fun v -> (not (Hashtbl.mem is_terminal v)) && Hashtbl.find deg v <= 1)
+        st.nodes
+    in
+    if drop = [] then st
+    else begin
+      let dropped = Hashtbl.create 8 in
+      List.iter (fun v -> Hashtbl.replace dropped v ()) drop;
+      go
+        {
+          nodes = List.filter (fun v -> not (Hashtbl.mem dropped v)) st.nodes;
+          edges =
+            List.filter
+              (fun (e : E.t) ->
+                not (Hashtbl.mem dropped e.u || Hashtbl.mem dropped e.v))
+              st.edges;
+        }
+    end
+  in
+  go st
+
+(* One FR-style degree improvement on the fixed node set: find a graph
+   edge e between two tree nodes of degree <= d-2 lying in different
+   components of (tree minus nodes of degree >= d-1) whose tree cycle
+   passes through a degree-d node z; swap e for a cycle edge at z. This
+   is the closure of Algorithm 4 with degree-good marks only, iterated to
+   a fixpoint by [min_degree_steiner]. *)
+let improve_once g st =
+  let nodes = st.nodes in
+  let deg = degrees_of st in
+  let d = degree st in
+  if d <= 2 then None
+  else begin
+    (* adjacency of the Steiner tree *)
+    let adj = Hashtbl.create 32 in
+    let add a b =
+      Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a))
+    in
+    List.iter
+      (fun (e : E.t) ->
+        add e.u e.v;
+        add e.v e.u)
+      st.edges;
+    let path u v =
+      (* BFS in the tree from u to v *)
+      let prev = Hashtbl.create 32 in
+      let q = Queue.create () in
+      Hashtbl.replace prev u u;
+      Queue.add u q;
+      while not (Queue.is_empty q) do
+        let x = Queue.pop q in
+        List.iter
+          (fun y ->
+            if not (Hashtbl.mem prev y) then begin
+              Hashtbl.replace prev y x;
+              Queue.add y q
+            end)
+          (Option.value ~default:[] (Hashtbl.find_opt adj x))
+      done;
+      let rec back v acc = if v = u then u :: acc else back (Hashtbl.find prev v) (v :: acc) in
+      if Hashtbl.mem prev v then Some (back v []) else None
+    in
+    (* fragments: components of good (degree <= d-2) nodes *)
+    let uf = Union_find.create (Graph.n g) in
+    let good v = Hashtbl.find deg v <= d - 2 in
+    List.iter
+      (fun (e : E.t) -> if good e.u && good e.v then ignore (Union_find.union uf e.u e.v))
+      st.edges;
+    let in_tree = Hashtbl.create 32 in
+    List.iter (fun v -> Hashtbl.replace in_tree v ()) nodes;
+    let tree_edge = Hashtbl.create 32 in
+    List.iter (fun (e : E.t) -> Hashtbl.replace tree_edge (e.u, e.v) ()) st.edges;
+    let result = ref None in
+    Graph.iter_edges
+      (fun e ->
+        if !result = None then
+          if
+            Hashtbl.mem in_tree e.E.u && Hashtbl.mem in_tree e.E.v
+            && good e.E.u && good e.E.v
+            && (not (Hashtbl.mem tree_edge (e.E.u, e.E.v)))
+            && not (Union_find.same uf e.E.u e.E.v)
+          then begin
+            match path e.E.u e.E.v with
+            | None -> ()
+            | Some cycle ->
+                (* a maximum-degree node on the cycle, with its cycle
+                   neighbor *)
+                let rec find = function
+                  | a :: b :: rest ->
+                      if Hashtbl.find deg a = d then Some (a, b)
+                      else if Hashtbl.find deg b = d then Some (b, a)
+                      else find (b :: rest)
+                  | _ -> None
+                in
+                (match find cycle with
+                | Some (z, nb) ->
+                    let w = Graph.weight g z nb in
+                    let f = E.make z nb w in
+                    result :=
+                      Some
+                        {
+                          st with
+                          edges = e :: List.filter (fun x -> not (E.equal x f)) st.edges;
+                        }
+                | None -> ())
+          end)
+      g;
+    !result
+  end
+
+let min_degree_steiner g ~terminals =
+  let st = ref (prune ~terminals (metric_mst g ~terminals)) in
+  let improvements = ref 0 in
+  let cap = 100 + (4 * Graph.n g * Graph.m g) in
+  let continue_ = ref true in
+  while !continue_ do
+    if !improvements > cap then failwith "Steiner.min_degree_steiner: no convergence";
+    match improve_once g !st with
+    | Some st' ->
+        st := prune ~terminals st';
+        incr improvements
+    | None -> continue_ := false
+  done;
+  (!st, !improvements)
+
+let exact_degree g ~nodes =
+  let nodes = List.sort_uniq compare nodes in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) nodes;
+  let k = List.length nodes in
+  if k <= 1 then 0
+  else begin
+    (* Induced subgraph, re-labeled 0..k-1. *)
+    let edges =
+      Graph.fold_edges
+        (fun e acc ->
+          match (Hashtbl.find_opt index e.E.u, Hashtbl.find_opt index e.E.v) with
+          | Some a, Some b -> (a, b, e.E.w) :: acc
+          | _ -> acc)
+        [] g
+    in
+    let sub = Graph.of_edges k edges in
+    Min_degree.exact sub
+  end

@@ -1,0 +1,57 @@
+(** Minimum-degree Steiner trees — the original setting of Fürer and
+    Raghavachari [33], whose spanning-tree specialization is the paper's
+    Algorithm 4.
+
+    A Steiner tree for a terminal set [S] is a tree in [G] spanning all
+    of [S], possibly passing through non-terminal (Steiner) nodes. This
+    module provides:
+
+    - {!metric_mst}: the classic metric-closure construction (an MST over
+      the terminals' shortest-path metric, unfolded back to graph paths) —
+      the standard 2-approximation for {e weight}, used as the starting
+      tree;
+    - {!prune}: removal of useless non-terminal leaves;
+    - {!min_degree_steiner}: FR-style local search minimizing the maximum
+      degree over Steiner trees on the chosen node set (the node set is
+      fixed after construction and pruning, which is the restriction we
+      document in DESIGN.md — full [33] also migrates Steiner points);
+    - {!exact_degree}: brute-force optimum over the same node set, for
+      validation on small instances.
+
+    A Steiner tree here is represented as a set of graph edges. *)
+
+type t = {
+  nodes : int list;  (** the spanned node set (terminals ∪ Steiner nodes) *)
+  edges : Graph.Edge.t list;
+}
+
+(** [check g ~terminals st] — [st.edges] forms a tree over exactly
+    [st.nodes] and every terminal is spanned. *)
+val check : Graph.t -> terminals:int list -> t -> bool
+
+(** Maximum degree of the Steiner tree. *)
+val degree : t -> int
+
+(** Total edge weight. *)
+val weight : t -> int
+
+(** [metric_mst g ~terminals] — metric-closure 2-approximation.
+    @raise Invalid_argument on an empty terminal list or disconnected
+    terminals. *)
+val metric_mst : Graph.t -> terminals:int list -> t
+
+(** [prune ~terminals st] — repeatedly drop non-terminal leaves. *)
+val prune : terminals:int list -> t -> t
+
+(** [min_degree_steiner g ~terminals] — build ({!metric_mst} + {!prune}),
+    then reduce the maximum degree by FR-style swaps over the fixed node
+    set (each swap exchanges a tree edge at a maximum-degree node for a
+    graph edge between two nodes of the tree, both of degree at most
+    [deg − 2], lying in different components of the tree minus its
+    high-degree nodes). Returns the tree and the number of improvements. *)
+val min_degree_steiner : Graph.t -> terminals:int list -> t * int
+
+(** [exact_degree g ~nodes ~terminals] — minimum possible maximum degree
+    of a tree spanning exactly [nodes] (checked by branch and bound over
+    the induced subgraph; exponential, small inputs only). *)
+val exact_degree : Graph.t -> nodes:int list -> int

@@ -1,0 +1,46 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  sizes : int array;
+  mutable sets : int;
+}
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    sizes = Array.make n 1;
+    sets = n;
+  }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let same t x y = find t x = find t y
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let attach child root =
+      t.parent.(child) <- root;
+      t.sizes.(root) <- t.sizes.(root) + t.sizes.(child)
+    in
+    if t.rank.(rx) < t.rank.(ry) then attach rx ry
+    else if t.rank.(rx) > t.rank.(ry) then attach ry rx
+    else begin
+      attach ry rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end;
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let count t = t.sets
+let size t x = t.sizes.(find t x)

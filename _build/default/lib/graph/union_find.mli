@@ -1,0 +1,28 @@
+(** Disjoint-set forest (union–find) with path compression and union by
+    rank.
+
+    Used by the sequential Kruskal and Borůvka reference algorithms, by the
+    spanning-tree validity checks, and by the Fürer–Raghavachari fragment
+    bookkeeping. *)
+
+type t
+
+(** [create n] is a fresh structure over elements [0 .. n-1], each in its
+    own singleton set. *)
+val create : int -> t
+
+(** [find t x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the sets of [x] and [y]. Returns [true] iff the
+    two sets were distinct (i.e. a merge actually happened). *)
+val union : t -> int -> int -> bool
+
+(** [same t x y] is [true] iff [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of disjoint sets. *)
+val count : t -> int
+
+(** [size t x] is the number of elements in [x]'s set. *)
+val size : t -> int -> int

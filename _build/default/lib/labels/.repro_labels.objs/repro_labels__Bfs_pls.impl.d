@@ -1,0 +1,1 @@
+lib/labels/bfs_pls.ml: Array Format Option Pls Repro_graph Repro_runtime

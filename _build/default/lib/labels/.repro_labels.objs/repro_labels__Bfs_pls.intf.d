@@ -1,0 +1,1 @@
+lib/labels/bfs_pls.mli: Format Pls Repro_graph

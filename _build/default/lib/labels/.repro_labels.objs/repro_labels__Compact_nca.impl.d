@@ -1,0 +1,1 @@
+lib/labels/compact_nca.ml: Array Format Heavy_path List Repro_graph

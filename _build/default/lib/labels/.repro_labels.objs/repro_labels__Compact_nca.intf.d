@@ -1,0 +1,1 @@
+lib/labels/compact_nca.mli: Format Repro_graph

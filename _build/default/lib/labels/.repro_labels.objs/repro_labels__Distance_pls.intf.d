@@ -1,0 +1,1 @@
+lib/labels/distance_pls.mli: Format Pls Repro_graph

@@ -1,0 +1,1 @@
+lib/labels/fr_pls.ml: Array Format Fun List Pls Queue Repro_graph Repro_runtime

@@ -1,0 +1,1 @@
+lib/labels/fr_pls.mli: Format Pls Repro_graph

@@ -1,0 +1,1 @@
+lib/labels/fragment_labels.ml: Array Format Fun Hashtbl List Option Pls Queue Repro_graph Repro_runtime

@@ -1,0 +1,1 @@
+lib/labels/fragment_labels.mli: Format Pls Repro_graph

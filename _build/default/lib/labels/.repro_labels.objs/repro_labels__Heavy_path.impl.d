@@ -1,0 +1,1 @@
+lib/labels/heavy_path.ml: Array Repro_graph

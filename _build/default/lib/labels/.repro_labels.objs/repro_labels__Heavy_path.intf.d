@@ -1,0 +1,1 @@
+lib/labels/heavy_path.mli: Repro_graph

@@ -1,0 +1,1 @@
+lib/labels/interval_labels.ml: Array Format List Pls Repro_graph Repro_runtime

@@ -1,0 +1,1 @@
+lib/labels/interval_labels.mli: Format Pls Repro_graph

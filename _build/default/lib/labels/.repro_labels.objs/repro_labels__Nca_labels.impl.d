@@ -1,0 +1,1 @@
+lib/labels/nca_labels.ml: Array Format Heavy_path Repro_graph Repro_runtime Stdlib

@@ -1,0 +1,1 @@
+lib/labels/nca_labels.mli: Format Repro_graph

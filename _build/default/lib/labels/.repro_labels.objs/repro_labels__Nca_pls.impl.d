@@ -1,0 +1,1 @@
+lib/labels/nca_pls.ml: Array Format List Nca_labels Pls Repro_graph Repro_runtime

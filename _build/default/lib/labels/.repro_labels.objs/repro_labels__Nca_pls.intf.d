@@ -1,0 +1,1 @@
+lib/labels/nca_pls.mli: Format Nca_labels Pls Repro_graph

@@ -1,0 +1,1 @@
+lib/labels/pls.ml: Array Repro_graph

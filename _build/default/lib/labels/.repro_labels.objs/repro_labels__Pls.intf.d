@@ -1,0 +1,1 @@
+lib/labels/pls.mli: Repro_graph

@@ -1,0 +1,1 @@
+lib/labels/redundant_pls.ml: Array Format Pls Repro_graph Repro_runtime

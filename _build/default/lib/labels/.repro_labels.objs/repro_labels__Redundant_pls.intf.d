@@ -1,0 +1,1 @@
+lib/labels/redundant_pls.mli: Format Pls Repro_graph

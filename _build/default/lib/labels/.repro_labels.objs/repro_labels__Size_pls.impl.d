@@ -1,0 +1,1 @@
+lib/labels/size_pls.ml: Array Format List Pls Repro_graph Repro_runtime

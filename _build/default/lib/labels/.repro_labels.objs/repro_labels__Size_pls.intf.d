@@ -1,0 +1,1 @@
+lib/labels/size_pls.mli: Format Pls Repro_graph

@@ -1,0 +1,41 @@
+module Tree = Repro_graph.Tree
+module Space = Repro_runtime.Space
+
+type label = { root_id : int; dist : int }
+
+let equal (a : label) b = a = b
+let pp ppf l = Format.fprintf ppf "(r=%d,d=%d)" l.root_id l.dist
+let size_bits n _ = Space.id_bits n + Space.dist_bits n
+
+let prover t =
+  Array.init (Tree.n t) (fun v -> { root_id = Tree.root t; dist = Tree.depth t v })
+
+(* The distance facet (spanning tree) plus the BFS facet (no neighbor
+   more than one hop closer). *)
+let tree_facet (ctx : label Pls.ctx) =
+  Array.for_all (fun l -> l.root_id = ctx.label.root_id) ctx.nbr_labels
+  &&
+  match Pls.parent_label ctx with
+  | `Root -> ctx.label.dist = 0 && ctx.label.root_id = ctx.id
+  | `Label pl -> ctx.label.dist = pl.dist + 1 && ctx.label.dist <= ctx.n
+  | `Broken -> false
+
+let bfs_facet (ctx : label Pls.ctx) =
+  Array.for_all (fun l -> l.dist >= ctx.label.dist - 1) ctx.nbr_labels
+
+let verify ctx = tree_facet ctx && bfs_facet ctx
+
+let violation (ctx : label Pls.ctx) =
+  if verify ctx || ctx.parent = -1 then None
+  else begin
+    let closer = ref None in
+    Array.iteri
+      (fun i l ->
+        match !closer with
+        | None when l.dist < ctx.label.dist - 1 -> closer := Some ctx.nbr_ids.(i)
+        | _ -> ())
+      ctx.nbr_labels;
+    Option.map (fun u -> (u, ctx.parent)) !closer
+  end
+
+let accepts_tree g t = Pls.accepts g ~parent:(Tree.parents t) ~labels:(prover t) verify

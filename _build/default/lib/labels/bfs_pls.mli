@@ -1,0 +1,29 @@
+(** The BFS-tree proof-labeling scheme of the Section III example.
+
+    The label of [v] is its hop distance to the root (together with the
+    root's id, exactly as in the distance scheme); the BFS facet is the
+    extra check that {e no graph neighbor} is more than one hop closer:
+    [d(u) ≥ d(v) − 1] for every [{u,v} ∈ E]. A spanning tree whose
+    distance labels pass both facets is a BFS tree, and a rejection at
+    [v] caused by a closer neighbor [u] identifies the improving swap
+    [e = {u,v}], [f = {v, p(v)}] of the paper's example. *)
+
+type label = { root_id : int; dist : int }
+
+val equal : label -> label -> bool
+val pp : Format.formatter -> label -> unit
+val size_bits : int -> label -> int
+
+(** [prover t] — labels for a tree (distances {e in the tree}); they are
+    accepted iff the tree is a BFS tree of the graph. *)
+val prover : Repro_graph.Tree.t -> label array
+
+val verify : label Pls.ctx -> bool
+
+(** [accepts_tree g t] — completeness/soundness shortcut: true iff [t]'s
+    own distances satisfy both facets, i.e. iff [t] is a BFS tree. *)
+val accepts_tree : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool
+
+(** [violation ctx] — when rejecting, the improving swap the paper's
+    example prescribes: [Some (closer_neighbor, parent)]. *)
+val violation : label Pls.ctx -> (int * int) option

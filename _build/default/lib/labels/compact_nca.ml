@@ -1,0 +1,134 @@
+module Tree = Repro_graph.Tree
+
+(* A label is a bitstring, stored as a bool array (the measured size in
+   bits is what matters, not the in-memory packing). Structure:
+
+     γ(pos₁+1) γ(rank₁) γ(pos₂+1) γ(rank₂) … γ(pos_k+1)
+
+   one (position, light-rank) group per heavy path crossed; the final
+   path contributes only its position. Elias-γ codes are self-delimiting,
+   so two labels can be parsed in lockstep without side tables. *)
+
+type label = bool array
+
+let equal (a : label) b = a = b
+let bits = Array.length
+
+let pp ppf (l : label) =
+  Format.pp_print_string ppf "⟨";
+  Array.iter (fun b -> Format.pp_print_char ppf (if b then '1' else '0')) l;
+  Format.pp_print_string ppf "⟩"
+
+(* Elias gamma: for x >= 1, floor(log2 x) zeros, then x in binary. *)
+let gamma x =
+  if x < 1 then invalid_arg "Compact_nca.gamma";
+  let nbits =
+    let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+    go x 0
+  in
+  Array.init ((2 * nbits) - 1) (fun i ->
+      if i < nbits - 1 then false else x land (1 lsl (nbits - 1 - (i - (nbits - 1)))) <> 0)
+
+(* Decode one gamma code starting at offset [i]; returns (value, next). *)
+let degamma (l : label) i =
+  let n = Array.length l in
+  let rec zeros j = if j < n && not l.(j) then zeros (j + 1) else j in
+  let z = zeros i in
+  let nbits = z - i + 1 in
+  if z + nbits - 1 > n then raise Exit;
+  let v = ref 0 in
+  for j = z to z + nbits - 1 do
+    v := (!v lsl 1) lor if l.(j) then 1 else 0
+  done;
+  (!v, z + nbits)
+
+(* Parse into (pos, rank option) groups; rank = None on the final group. *)
+let parse (l : label) =
+  let n = Array.length l in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let pos1, j = degamma l i in
+      if j >= n then List.rev ((pos1 - 1, None) :: acc)
+      else
+        let rank, k = degamma l j in
+        go k ((pos1 - 1, Some rank) :: acc)
+  in
+  go 0 []
+
+let render groups =
+  Array.concat
+    (List.concat_map
+       (fun (pos, rank) ->
+         gamma (pos + 1) :: (match rank with Some r -> [ gamma r ] | None -> []))
+       groups)
+
+let prover t =
+  let hp = Heavy_path.compute t in
+  let n = Tree.n t in
+  (* Rank of each light child among its siblings' light children,
+     ordered by decreasing subtree size (ties by id). *)
+  let light_rank = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let lights =
+      Array.to_list (Tree.children t v)
+      |> List.filter (fun c -> Heavy_path.heavy_child hp v <> c)
+      |> List.sort (fun a b -> compare (-Tree.size t a, a) (-Tree.size t b, b))
+    in
+    List.iteri (fun i c -> light_rank.(c) <- i + 1) lights
+  done;
+  (* Groups along root→v, built top-down over the pre-order. *)
+  let groups : (int * int option) list array = Array.make n [] in
+  let order = Array.init n (fun v -> v) in
+  Array.sort (fun a b -> compare (Tree.pre t a) (Tree.pre t b)) order;
+  Array.iter
+    (fun v ->
+      if v = Tree.root t then groups.(v) <- [ (0, None) ]
+      else begin
+        let p = Tree.parent t v in
+        if Heavy_path.heavy_child hp p = v then begin
+          (* extend the last group's position *)
+          match List.rev groups.(p) with
+          | (pos, None) :: rest -> groups.(v) <- List.rev ((pos + 1, None) :: rest)
+          | _ -> assert false
+        end
+        else begin
+          (* seal the parent's path at its exit position, start a new
+             path at position 0 *)
+          match List.rev groups.(p) with
+          | (pos, None) :: rest ->
+              groups.(v) <- List.rev ((0, None) :: (pos, Some light_rank.(v)) :: rest)
+          | _ -> assert false
+        end
+      end)
+    order;
+  Array.map render groups
+
+let nca (a : label) b =
+  let ga = parse a and gb = parse b in
+  let rec go ga gb acc =
+    match (ga, gb) with
+    | (pa, ra) :: resta, (pb, rb) :: restb -> (
+        match (ra, rb) with
+        | Some x, Some y when x = y && pa = pb -> go resta restb ((pa, ra) :: acc)
+        | _ ->
+            (* First divergence: the NCA sits on this common heavy path
+               at the smaller position. *)
+            List.rev ((min pa pb, None) :: acc)
+        )
+    | [], _ | _, [] -> List.rev acc (* ill-formed input; be defensive *)
+  in
+  render (go ga gb [])
+
+let is_ancestor a v = equal (nca a v) a
+
+let on_cycle ~x ~u ~v =
+  let w = nca u v in
+  (equal (nca x u) x && equal (nca x v) w) || (equal (nca x u) w && equal (nca x v) x)
+
+let resolve t l =
+  let labels = prover t in
+  let rec go v =
+    if v >= Tree.n t then raise Not_found else if equal labels.(v) l then v else go (v + 1)
+  in
+  go 0

@@ -1,0 +1,24 @@
+module Tree = Repro_graph.Tree
+module Space = Repro_runtime.Space
+
+type label = { root_id : int; dist : int }
+
+let equal a b = a.root_id = b.root_id && a.dist = b.dist
+let pp ppf l = Format.fprintf ppf "(r=%d,d=%d)" l.root_id l.dist
+let size_bits n _ = Space.id_bits n + Space.dist_bits n
+
+let prover t =
+  Array.init (Tree.n t) (fun v -> { root_id = Tree.root t; dist = Tree.depth t v })
+
+let verify (ctx : label Pls.ctx) =
+  let same_root = Array.for_all (fun l -> l.root_id = ctx.label.root_id) ctx.nbr_labels in
+  let dist_ok =
+    match Pls.parent_label ctx with
+    | `Root -> ctx.label.dist = 0 && ctx.label.root_id = ctx.id
+    | `Label pl -> ctx.label.dist = pl.dist + 1 && ctx.label.dist <= ctx.n
+    | `Broken -> false
+  in
+  same_root && dist_ok
+
+let accepts_tree g t =
+  Pls.accepts g ~parent:(Tree.parents t) ~labels:(prover t) verify

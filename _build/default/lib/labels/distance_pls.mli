@@ -1,0 +1,23 @@
+(** The classic distance-based proof-labeling scheme for spanning trees
+    (Section II-C): the label of [v] is the pair [(ID(root), d)] where [d]
+    is [v]'s hop distance to the root in the tree. Every node checks that
+    all its graph neighbors agree on the root identity and that its
+    parent's distance is one less than its own. O(log n)-bit labels. *)
+
+type label = { root_id : int; dist : int }
+
+val equal : label -> label -> bool
+val pp : Format.formatter -> label -> unit
+
+(** Bits for a label in an [n]-node network. *)
+val size_bits : int -> label -> int
+
+(** [prover t] labels every node of the spanning tree [t]. *)
+val prover : Repro_graph.Tree.t -> label array
+
+(** The local verifier. *)
+val verify : label Pls.ctx -> bool
+
+(** [accepts g t] — completeness shortcut: prover's labels on [t] are
+    accepted everywhere. *)
+val accepts_tree : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool

@@ -1,0 +1,118 @@
+module Graph = Repro_graph.Graph
+module Tree = Repro_graph.Tree
+module Min_degree = Repro_graph.Min_degree
+module Space = Repro_runtime.Space
+
+type label = { k : int; wdist : int; good : bool; frag : int; fdist : int }
+
+let equal (a : label) b = a = b
+
+let pp ppf l =
+  Format.fprintf ppf "(k=%d,w=%d,%s,frag=%d,fd=%d)" l.k l.wdist
+    (if l.good then "good" else "bad")
+    l.frag l.fdist
+
+let size_bits n _ = Space.dist_bits n + Space.dist_bits n + 1 + Space.id_bits n + Space.dist_bits n
+
+(* BFS over tree edges from a source set, optionally restricted to a node
+   predicate (for intra-fragment distances). *)
+let tree_bfs t ~keep sources =
+  let n = Tree.n t in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) = max_int then begin
+        dist.(s) <- 0;
+        Queue.add s q
+      end)
+    sources;
+  let visit u v =
+    if keep v && dist.(v) = max_int then begin
+      dist.(v) <- dist.(u) + 1;
+      Queue.add v q
+    end
+  in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let p = Tree.parent t u in
+    if p <> -1 then visit u p;
+    Array.iter (visit u) (Tree.children t u)
+  done;
+  dist
+
+let prover g t (marking : Min_degree.marking) =
+  let n = Graph.n g in
+  let k = Tree.max_degree t in
+  let witnesses = List.filter (fun v -> Tree.degree t v = k) (List.init n Fun.id) in
+  let wdist = tree_bfs t ~keep:(fun _ -> true) witnesses in
+  (* Intra-fragment distances to the node whose id names the fragment. *)
+  let fdist = Array.make n 0 in
+  let anchors =
+    List.filter (fun v -> marking.good.(v) && marking.fragment.(v) = v) (List.init n Fun.id)
+  in
+  let fd =
+    tree_bfs t
+      ~keep:(fun v -> marking.good.(v))
+      anchors
+  in
+  for v = 0 to n - 1 do
+    if marking.good.(v) then fdist.(v) <- fd.(v)
+  done;
+  Array.init n (fun v ->
+      {
+        k;
+        wdist = wdist.(v);
+        good = marking.good.(v);
+        frag = (if marking.good.(v) then marking.fragment.(v) else -1);
+        fdist = fdist.(v);
+      })
+
+let verify (ctx : label Pls.ctx) =
+  let l = ctx.label in
+  (* Tree degree from local pointers: children + parent. *)
+  let deg =
+    Array.fold_left (fun acc p -> if p = ctx.id then acc + 1 else acc) 0 ctx.nbr_parents
+    + if ctx.parent = -1 then 0 else 1
+  in
+  let tree_nbr i = ctx.nbr_parents.(i) = ctx.id || ctx.parent = ctx.nbr_ids.(i) in
+  let parent_exists = ctx.parent = -1 || Array.exists (fun u -> u = ctx.parent) ctx.nbr_ids in
+  let same_k = Array.for_all (fun nl -> nl.k = l.k) ctx.nbr_labels in
+  let deg_ok = deg <= l.k in
+  let wdist_ok =
+    l.wdist >= 0 && l.wdist <= ctx.n
+    &&
+    if l.wdist = 0 then deg = l.k
+    else
+      Array.exists
+        (fun i -> tree_nbr i && ctx.nbr_labels.(i).wdist = l.wdist - 1)
+        (Array.init (Array.length ctx.nbr_ids) Fun.id)
+  in
+  let marking_ok = (not (deg = l.k && l.good)) && not (deg <= l.k - 2 && not l.good) in
+  let frag_ok =
+    if not l.good then true
+    else begin
+      l.frag >= 0 && l.frag < ctx.n
+      && l.fdist >= 0 && l.fdist <= ctx.n
+      && (if l.fdist = 0 then l.frag = ctx.id
+          else
+            Array.exists
+              (fun i ->
+                tree_nbr i
+                && ctx.nbr_labels.(i).good
+                && ctx.nbr_labels.(i).frag = l.frag
+                && ctx.nbr_labels.(i).fdist = l.fdist - 1)
+              (Array.init (Array.length ctx.nbr_ids) Fun.id))
+      (* No graph edge joins good nodes of different fragments
+         (Definition 8.1 (3)); in particular good tree neighbors share my
+         fragment. *)
+      && Array.for_all (fun nl -> (not nl.good) || nl.frag = l.frag) ctx.nbr_labels
+    end
+  in
+  parent_exists && same_k && deg_ok && wdist_ok && marking_ok && frag_ok
+
+let accepts_tree g t =
+  match Min_degree.find_marking g t with
+  | None -> false
+  | Some marking ->
+      Pls.accepts g ~parent:(Tree.parents t) ~labels:(prover g t marking) verify

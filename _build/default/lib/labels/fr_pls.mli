@@ -1,0 +1,40 @@
+(** Proof-labeling scheme for FR-trees (Lemma 8.1), with O(log n)-bit
+    labels.
+
+    There is no poly-time PLS for arbitrary degree-(OPT+1) spanning trees
+    unless NP = co-NP (Proposition 8.1), which is exactly why the paper —
+    and this library — stabilizes on the {e FR-tree} subclass
+    (Definition 8.1) instead.
+
+    The label of [v] certifies the witness marking:
+
+    - [k]: the claimed tree degree, agreed with all neighbors; every node
+      checks its own tree degree is ≤ [k];
+    - [wdist]: hop distance in the tree to a witness node of degree [k]
+      ([wdist = 0 ⇒ deg(v) = k], else a tree neighbor is one hop
+      closer) — certifying that [k] really is the maximum degree;
+    - [good]: the marking bit; degree-[k] nodes must be bad, degree
+      ≤ [k−2] nodes must be good;
+    - [frag]/[fdist] (good nodes only): the fragment id — the id of a
+      node inside the fragment, reached by the decreasing [fdist] chain —
+      constant across good tree neighbors, hence constant per fragment
+      and distinct across fragments;
+    - property (3): any graph edge between good nodes with different
+      [frag] triggers rejection. *)
+
+type label = { k : int; wdist : int; good : bool; frag : int; fdist : int }
+
+val equal : label -> label -> bool
+val pp : Format.formatter -> label -> unit
+val size_bits : int -> label -> int
+
+(** [prover g t marking] builds labels from a witness marking (as
+    produced by [Repro_graph.Min_degree]). *)
+val prover :
+  Repro_graph.Graph.t -> Repro_graph.Tree.t -> Repro_graph.Min_degree.marking -> label array
+
+val verify : label Pls.ctx -> bool
+
+(** [accepts_tree g t] — runs {!prover} on the marking found by
+    [Min_degree.find_marking]; [None] (not an FR-tree) yields [false]. *)
+val accepts_tree : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool

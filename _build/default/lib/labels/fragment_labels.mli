@@ -1,0 +1,84 @@
+(** Borůvka-trace fragment labels and the MST proof-labeling scheme
+    (Section VI; Korman–Kutten style, O(log² n) bits — space-optimal for
+    silent MST).
+
+    Each node [x] stores, for every level [i = 1..k] of a virtual
+    execution of Borůvka's algorithm {e on the current tree T}:
+
+    - [frag_i(x)]: the identity of [x]'s level-[i] fragment (the smallest
+      node id in the fragment);
+    - [out_i(x)]: the lightest tree edge leaving the fragment — the edge
+      along which the fragment merges at this level ([None] only at the
+      top level, where the single fragment spans [T]).
+
+    Since fragments at least halve in number per level, [k ≤ ⌈log₂ n⌉],
+    and each entry costs O(log n) bits.
+
+    [T] is the (unique) MST iff each [out_i(x)] is additionally the
+    lightest edge leaving [frag_i(x)] {e in the whole graph G} (the cut
+    rule). The per-node, per-level defect is the potential of Section VI:
+    [φ(T) = k·n − Σ_x φ_x(T)], with [φ_x] the deepest level up to which
+    [x]'s outgoing edges are G-minimal. [φ(T) = 0 ⟺ T ∈ MST(G)], and a
+    red-rule swap on the lightest violating fragment edge decreases [φ]. *)
+
+type entry = {
+  frag : int;  (** fragment id = min node id in the fragment *)
+  fdist : int;
+      (** hops (inside this level's fragment) to an {e anchor} — a node
+          whose previous-level fragment id equals [frag]. The decreasing
+          chain certifies locally that [frag] really is the minimum of
+          the merged fragments' ids (a min claimed without an anchor
+          cannot form a 0-terminated chain). *)
+  out : Repro_graph.Graph.Edge.t option;  (** the fragment's selected (merge) edge *)
+  odist : int;
+      (** hops (inside the fragment) to the endpoint of [out] that lies
+          inside the fragment; certifies that [out] is genuinely incident
+          to the claimed fragment, and that fragment-mates agree on it. *)
+}
+
+type label = entry array
+
+val equal : label -> label -> bool
+val pp : Format.formatter -> label -> unit
+val size_bits : int -> label -> int
+
+(** Number of levels [k]. *)
+val levels : label -> int
+
+(** [prover g t] computes the trace labels for tree [t] in graph [g]
+    (weights of tree edges are read from [g]). Every node gets the same
+    number of levels. *)
+val prover : Repro_graph.Graph.t -> Repro_graph.Tree.t -> label array
+
+(** [fragments_at labels ~level] — the partition at a given level (list
+    of (fragment id, member list)); test helper. *)
+val fragments_at : label array -> level:int -> (int * int list) list
+
+(** The local verifier of trace consistency {e and} G-minimality (the
+    full MST PLS): a node checks level count agreement, level-1 facts,
+    fragment/merge consistency with tree neighbors, agreement of [out]
+    across fragment-mates, that its own incident tree edges leaving the
+    fragment are no lighter than [out], and the cut rule against all its
+    incident graph edges. *)
+val verify : label Pls.ctx -> bool
+
+(** Like {!verify} but without the G-minimality facet: accepts the trace
+    of any spanning tree, not only the MST. Used while the tree is still
+    being improved. *)
+val verify_trace : label Pls.ctx -> bool
+
+(** [potential g t labels] = [k·n − Σ_x φ_x(T)] (Section VI). Assumes
+    [labels = prover g t]. Zero iff [t] is the MST. *)
+val potential : Repro_graph.Graph.t -> Repro_graph.Tree.t -> label array -> int
+
+(** [first_violation g labels x ~x_edges] — smallest level [i] such that
+    [out_i(x)] is not G-minimal for [frag_i(x)], together with a lighter
+    incident edge if one touches [x]. Global helper for tests. *)
+val violation_level : Repro_graph.Graph.t -> label array -> int option
+
+(** [min_outgoing g labels ~level ~frag] — the lightest G-edge leaving
+    fragment [frag] at [level] (the paper's merge candidate e). *)
+val min_outgoing :
+  Repro_graph.Graph.t -> label array -> level:int -> frag:int -> Repro_graph.Graph.Edge.t option
+
+val accepts_tree : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool

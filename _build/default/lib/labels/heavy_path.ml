@@ -1,0 +1,47 @@
+module Tree = Repro_graph.Tree
+
+type t = { heavy : int array; head : int array; pos : int array; light_depth : int array }
+
+let compute tree =
+  let n = Tree.n tree in
+  let heavy = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let best = ref (-1) in
+    Array.iter
+      (fun c -> if !best = -1 || Tree.size tree c > Tree.size tree !best then best := c)
+      (Tree.children tree v);
+    heavy.(v) <- !best
+  done;
+  let head = Array.make n (-1) and pos = Array.make n 0 and light_depth = Array.make n 0 in
+  (* Process nodes in increasing depth: parents before children. DFS pre
+     order has that property. *)
+  let order = Array.init n (fun v -> v) in
+  Array.sort (fun a b -> compare (Tree.pre tree a) (Tree.pre tree b)) order;
+  Array.iter
+    (fun v ->
+      if v = Tree.root tree then begin
+        head.(v) <- v;
+        pos.(v) <- 0;
+        light_depth.(v) <- 0
+      end
+      else begin
+        let p = Tree.parent tree v in
+        if heavy.(p) = v then begin
+          head.(v) <- head.(p);
+          pos.(v) <- pos.(p) + 1;
+          light_depth.(v) <- light_depth.(p)
+        end
+        else begin
+          head.(v) <- v;
+          pos.(v) <- 0;
+          light_depth.(v) <- light_depth.(p) + 1
+        end
+      end)
+    order;
+  { heavy; head; pos; light_depth }
+
+let heavy_child t v = t.heavy.(v)
+let head t v = t.head.(v)
+let pos t v = t.pos.(v)
+let light_depth t v = t.light_depth.(v)
+let max_light_depth t = Array.fold_left max 0 t.light_depth

@@ -1,0 +1,27 @@
+(** Heavy-path decomposition of a rooted tree.
+
+    The child of [v] with the largest subtree (ties broken by smallest
+    id) is {e heavy}; all other children are {e light}. Maximal chains of
+    heavy edges form {e heavy paths}. Every root-to-leaf path crosses at
+    most ⌈log₂ n⌉ light edges, which is what bounds the NCA-label length
+    in [Nca_labels] (Section V / Alstrup et al.). *)
+
+type t
+
+val compute : Repro_graph.Tree.t -> t
+
+(** [heavy_child t v] is [v]'s heavy child, or [-1] for a leaf. *)
+val heavy_child : t -> int -> int
+
+(** [head t v] is the topmost node of [v]'s heavy path. *)
+val head : t -> int -> int
+
+(** [pos t v] is [v]'s position (depth) along its heavy path;
+    [pos (head v) = 0]. *)
+val pos : t -> int -> int
+
+(** [light_depth t v] — number of light edges on the root→v path. *)
+val light_depth : t -> int -> int
+
+(** Maximum {!light_depth}; ≤ ⌈log₂ n⌉. *)
+val max_light_depth : t -> int

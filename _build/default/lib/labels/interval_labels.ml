@@ -1,0 +1,52 @@
+module Tree = Repro_graph.Tree
+module Space = Repro_runtime.Space
+
+type label = { pre : int; post : int }
+
+let equal a b = a.pre = b.pre && a.post = b.post
+let pp ppf l = Format.fprintf ppf "[%d,%d]" l.pre l.post
+let size_bits n _ = 2 * Space.dist_bits n
+
+(* Convert (pre, post) orders into nested intervals: a node's interval is
+   [pre(v), maxpre(subtree of v)]; we encode it directly from the DFS
+   numbers of [Tree]: by construction pre/post come from the same DFS, so
+   ancestry is pre(a) <= pre(v) && post(v) <= post(a). *)
+let prover t = Array.init (Tree.n t) (fun v -> { pre = Tree.pre t v; post = Tree.post t v })
+
+let is_ancestor a v = a.pre <= v.pre && v.post <= a.post
+let is_common_ancestor x ~u ~v = is_ancestor x u && is_ancestor x v
+
+let is_nca x ~u ~v ~children =
+  is_common_ancestor x ~u ~v
+  && not (List.exists (fun c -> is_common_ancestor c ~u ~v) children)
+
+let on_cycle x ~u ~v ~children =
+  let au = is_ancestor x u and av = is_ancestor x v in
+  (au && not av) || (av && not au) || (au && av && is_nca x ~u ~v ~children)
+
+let verify (ctx : label Pls.ctx) =
+  let l = ctx.label in
+  let in_range i = i >= 0 && i < ctx.n in
+  in_range l.pre && in_range l.post
+  &&
+  (* Children nest strictly inside; non-child neighbors are not our
+     descendants unless we are theirs (partial local check; the full
+     soundness for cycle detection is delegated to the distance PLS that
+     always accompanies these labels in the protocol stack). *)
+  let ok = ref true in
+  Array.iteri
+    (fun i p ->
+      let cl = ctx.nbr_labels.(i) in
+      if p = ctx.id then begin
+        if not (is_ancestor l cl) then ok := false;
+        if cl.pre <= l.pre then ok := false
+      end)
+    ctx.nbr_parents;
+  (match Pls.parent_label ctx with
+  | `Root -> if l.pre <> 0 || l.post <> ctx.n - 1 then ok := false
+  | `Label pl -> if not (is_ancestor pl l) then ok := false
+  | `Broken -> ok := false);
+  !ok
+
+let accepts_tree g t =
+  Pls.accepts g ~parent:(Tree.parents t) ~labels:(prover t) verify

@@ -1,0 +1,42 @@
+(** DFS-interval ancestry labels.
+
+    The label of [v] is its DFS [(pre, post)] interval in the tree:
+    [a] is an ancestor of [v] iff [pre(a) ≤ pre(v)] and
+    [post(v) ≤ post(a)]. Θ(log n) bits.
+
+    These labels support the fundamental-cycle membership test of
+    Section V: for a non-tree edge [e = {u,v}], node [x] lies on the
+    cycle of [T + e] iff [x] is an ancestor of exactly one of [u, v], or
+    [x] is their nearest common ancestor. The "is the NCA" part is
+    decidable locally: [x] is the NCA iff [x] is a common ancestor and no
+    child of [x] is. Used by the switch protocol to decide pruning roles;
+    the full NCA-label machinery of [Nca_labels] additionally {e computes}
+    the NCA's label from two labels, as in the paper. *)
+
+type label = { pre : int; post : int }
+
+val equal : label -> label -> bool
+val pp : Format.formatter -> label -> unit
+val size_bits : int -> label -> int
+val prover : Repro_graph.Tree.t -> label array
+
+(** [is_ancestor a v] — label-only reflexive ancestry test. *)
+val is_ancestor : label -> label -> bool
+
+(** [is_common_ancestor x ~u ~v]. *)
+val is_common_ancestor : label -> u:label -> v:label -> bool
+
+(** [is_nca x ~u ~v ~children] where [children] are the labels of [x]'s
+    children: [x] is the nearest common ancestor of [u] and [v]. *)
+val is_nca : label -> u:label -> v:label -> children:label list -> bool
+
+(** [on_cycle x ~u ~v ~children] — [x] lies on the fundamental cycle of
+    the non-tree edge [{u,v}] (i.e. on the tree path between them). *)
+val on_cycle : label -> u:label -> v:label -> children:label list -> bool
+
+(** A well-formedness verifier making the labeling a PLS: each node
+    checks its interval nests correctly in its parent's and is disjoint
+    from its siblings' (we check the parent/child facet locally). *)
+val verify : label Pls.ctx -> bool
+
+val accepts_tree : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool

@@ -1,0 +1,75 @@
+module Tree = Repro_graph.Tree
+module Space = Repro_runtime.Space
+
+type label = (int * int) array (* (head id, position) pairs, root first *)
+
+let equal (a : label) b = a = b
+let compare (a : label) b = compare a b
+let length = Array.length
+
+let pp ppf l =
+  Format.fprintf ppf "@[<h>[";
+  Array.iteri
+    (fun i (h, p) -> Format.fprintf ppf "%s(%d,%d)" (if i > 0 then ";" else "") h p)
+    l;
+  Format.fprintf ppf "]@]"
+
+let size_bits n l = Array.length l * (Space.id_bits n + Space.dist_bits n)
+let of_root r = [| (r, 0) |]
+let of_pairs a = Array.copy a
+
+let extend_heavy l =
+  let l = Array.copy l in
+  let h, p = l.(Array.length l - 1) in
+  l.(Array.length l - 1) <- (h, p + 1);
+  l
+
+let extend_light l ~child = Array.append l [| (child, 0) |]
+
+let prover t =
+  let hp = Heavy_path.compute t in
+  let n = Tree.n t in
+  let labels = Array.make n [||] in
+  let order = Array.init n (fun v -> v) in
+  Array.sort (fun a b -> Stdlib.compare (Tree.pre t a) (Tree.pre t b)) order;
+  Array.iter
+    (fun v ->
+      if v = Tree.root t then labels.(v) <- of_root v
+      else
+        let p = Tree.parent t v in
+        if Heavy_path.heavy_child hp p = v then labels.(v) <- extend_heavy labels.(p)
+        else labels.(v) <- extend_light labels.(p) ~child:v)
+    order;
+  labels
+
+let nca (a : label) (b : label) : label =
+  let la = Array.length a and lb = Array.length b in
+  let rec first_diff i =
+    if i >= la || i >= lb then None
+    else if a.(i) = b.(i) then first_diff (i + 1)
+    else Some i
+  in
+  match first_diff 0 with
+  | None ->
+      (* One sequence is a prefix of the other (entrywise): the shorter
+         node is the ancestor. *)
+      if la <= lb then a else b
+  | Some i ->
+      let ha, pa = a.(i) and hb, pb = b.(i) in
+      if ha = hb then Array.append (Array.sub a 0 i) [| (ha, min pa pb) |]
+      else
+        (* Both walks left the previous common heavy path at the same
+           position (entry i-1 is equal) into different light children:
+           the NCA is that exit node, whose label is the common prefix. *)
+        Array.sub a 0 i
+
+let is_ancestor a v = equal (nca a v) a
+
+let on_cycle ~x ~u ~v =
+  let w = nca u v in
+  (equal (nca x u) x && equal (nca x v) w) || (equal (nca x u) w && equal (nca x v) x)
+
+let resolve t l =
+  let labels = prover t in
+  let rec go v = if v >= Tree.n t then raise Not_found else if equal labels.(v) l then v else go (v + 1) in
+  go 0

@@ -1,0 +1,58 @@
+module Tree = Repro_graph.Tree
+module Space = Repro_runtime.Space
+
+type label = { size : int; seq : Nca_labels.label }
+
+let equal a b = a.size = b.size && Nca_labels.equal a.seq b.seq
+let pp ppf l = Format.fprintf ppf "(s=%d,%a)" l.size Nca_labels.pp l.seq
+let size_bits n l = Space.dist_bits n + Nca_labels.size_bits n l.seq
+
+let prover t =
+  let seqs = Nca_labels.prover t in
+  Array.init (Tree.n t) (fun v -> { size = Tree.size t v; seq = seqs.(v) })
+
+let verify (ctx : label Pls.ctx) =
+  (* Collect children (id, label) pairs. *)
+  let children = ref [] in
+  Array.iteri
+    (fun i p ->
+      if p = ctx.id then children := (ctx.nbr_ids.(i), ctx.nbr_labels.(i)) :: !children)
+    ctx.nbr_parents;
+  let children = !children in
+  let size_ok =
+    ctx.label.size = List.fold_left (fun acc (_, l) -> acc + l.size) 1 children
+    && ctx.label.size >= 1
+    && ctx.label.size <= ctx.n
+  in
+  let root_ok =
+    match Pls.parent_label ctx with
+    | `Root ->
+        Nca_labels.equal ctx.label.seq (Nca_labels.of_root ctx.id)
+        && ctx.label.size = ctx.n
+    | `Label _ -> true
+    | `Broken -> false
+  in
+  let heavy =
+    List.fold_left
+      (fun best (c, l) ->
+        match best with
+        | None -> Some (c, l)
+        | Some (bc, bl) ->
+            if l.size > bl.size || (l.size = bl.size && c < bc) then Some (c, l) else best)
+      None children
+  in
+  let children_ok =
+    List.for_all
+      (fun (c, l) ->
+        let expected =
+          match heavy with
+          | Some (hc, _) when hc = c -> Nca_labels.extend_heavy ctx.label.seq
+          | _ -> Nca_labels.extend_light ctx.label.seq ~child:c
+        in
+        Nca_labels.equal l.seq expected)
+      children
+  in
+  size_ok && root_ok && children_ok
+
+let accepts_tree g t =
+  Pls.accepts g ~parent:(Tree.parents t) ~labels:(prover t) verify

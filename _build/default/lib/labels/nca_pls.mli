@@ -1,0 +1,28 @@
+(** A proof-labeling scheme {e for the NCA labeling itself} (Lemma 5.1).
+
+    The paper notes this is "probably the first occurrence of a
+    proof-labeling scheme for an informative-labeling scheme": to use NCA
+    labels inside a silent algorithm, the labels must be locally
+    certifiable. The certificate of [v] is its subtree size plus its NCA
+    sequence. Verification at [v]:
+
+    - [size(v) = 1 + Σ size(child)] (size facet, certifying that the
+      heavy-child determination below is sound);
+    - the root's sequence is [[(root, 0)]];
+    - for each child [c]: if [c] is the heavy child — the child of
+      maximum certified size, ties to the smallest id — then [seq(c)]
+      extends [seq(v)] along the heavy path ([extend_heavy]); otherwise
+      [seq(c) = extend_light seq(v) ~child:c].
+
+    Completeness and soundness (given a correct spanning tree, itself
+    certified by the distance/redundant PLS of the stack) are exercised
+    in the test suite and experiment E4. *)
+
+type label = { size : int; seq : Nca_labels.label }
+
+val equal : label -> label -> bool
+val pp : Format.formatter -> label -> unit
+val size_bits : int -> label -> int
+val prover : Repro_graph.Tree.t -> label array
+val verify : label Pls.ctx -> bool
+val accepts_tree : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool

@@ -1,0 +1,51 @@
+module Graph = Repro_graph.Graph
+
+type 'label ctx = {
+  id : int;
+  n : int;
+  nbr_ids : int array;
+  nbr_weights : int array;
+  parent : int;
+  label : 'label;
+  nbr_parents : int array;
+  nbr_labels : 'label array;
+}
+
+let ctx_of g ~parent ~labels v =
+  let nbrs = Graph.neighbors g v in
+  {
+    id = v;
+    n = Graph.n g;
+    nbr_ids = Array.map fst nbrs;
+    nbr_weights = Array.map snd nbrs;
+    parent = parent.(v);
+    label = labels.(v);
+    nbr_parents = Array.map (fun (u, _) -> parent.(u)) nbrs;
+    nbr_labels = Array.map (fun (u, _) -> labels.(u)) nbrs;
+  }
+
+let rejections g ~parent ~labels verify =
+  let acc = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if not (verify (ctx_of g ~parent ~labels v)) then acc := v :: !acc
+  done;
+  !acc
+
+let accepts g ~parent ~labels verify = rejections g ~parent ~labels verify = []
+
+let children ctx =
+  let acc = ref [] in
+  for i = Array.length ctx.nbr_ids - 1 downto 0 do
+    if ctx.nbr_parents.(i) = ctx.id then acc := ctx.nbr_ids.(i) :: !acc
+  done;
+  !acc
+
+let parent_label ctx =
+  if ctx.parent = -1 then `Root
+  else
+    let rec go i =
+      if i >= Array.length ctx.nbr_ids then `Broken
+      else if ctx.nbr_ids.(i) = ctx.parent then `Label ctx.nbr_labels.(i)
+      else go (i + 1)
+    in
+    go 0

@@ -1,0 +1,55 @@
+(** Proof-labeling schemes (Section II-C of the paper).
+
+    A scheme is a prover/verifier pair [(p, v)]: the prover assigns a
+    label to every node of a legal configuration; the verifier runs at
+    each node and may inspect only that node's registers and its
+    neighbors' registers. If the configuration is legal, the prover's
+    labels make every node accept; if not, {e every} label assignment
+    leaves at least one rejecting node.
+
+    The verified configuration here is always a parent-pointer structure
+    plus per-node labels. A {!ctx} packages what one node may legally
+    read: its identity, incident edges, its own parent pointer and label,
+    and its neighbors' parent pointers and labels. *)
+
+type 'label ctx = {
+  id : int;
+  n : int;
+  nbr_ids : int array;  (** increasing *)
+  nbr_weights : int array;
+  parent : int;  (** own parent pointer; [-1] encodes ⊥ *)
+  label : 'label;
+  nbr_parents : int array;  (** aligned with [nbr_ids] *)
+  nbr_labels : 'label array;
+}
+
+(** [ctx_of g ~parent ~labels v] builds node [v]'s context from a global
+    configuration (test/driver side only). *)
+val ctx_of : Repro_graph.Graph.t -> parent:int array -> labels:'label array -> int -> 'label ctx
+
+(** [rejections g ~parent ~labels verify] runs the verifier at every node
+    and returns the rejecting node ids. *)
+val rejections :
+  Repro_graph.Graph.t ->
+  parent:int array ->
+  labels:'label array ->
+  ('label ctx -> bool) ->
+  int list
+
+(** [accepts g ~parent ~labels verify] — no node rejects. *)
+val accepts :
+  Repro_graph.Graph.t ->
+  parent:int array ->
+  labels:'label array ->
+  ('label ctx -> bool) ->
+  bool
+
+(** [children ctx] — ids of neighbors whose parent pointer names this
+    node (this node's children in the encoded structure). *)
+val children : 'label ctx -> int list
+
+(** [parent_label ctx] is [Some (label of parent)] when the parent pointer
+    names an actual neighbor, [None] when the pointer is [-1]; a parent
+    pointer naming a non-neighbor is a detectable inconsistency reported
+    as [`Broken]. *)
+val parent_label : 'label ctx -> [ `Root | `Label of 'label | `Broken ]

@@ -1,0 +1,101 @@
+module Tree = Repro_graph.Tree
+module Space = Repro_runtime.Space
+
+type label = { root_id : int; dist : int option; size : int option }
+
+let equal a b = a.root_id = b.root_id && a.dist = b.dist && a.size = b.size
+
+let pp ppf l =
+  let po ppf = function
+    | Some x -> Format.pp_print_int ppf x
+    | None -> Format.pp_print_string ppf "⊥"
+  in
+  Format.fprintf ppf "(r=%d,d=%a,s=%a)" l.root_id po l.dist po l.size
+
+let size_bits n l =
+  Space.id_bits n
+  + Space.opt (fun _ -> Space.dist_bits n) l.dist
+  + Space.opt (fun _ -> Space.dist_bits n) l.size
+
+let prover t =
+  Array.init (Tree.n t) (fun v ->
+      { root_id = Tree.root t; dist = Some (Tree.depth t v); size = Some (Tree.size t v) })
+
+let well_formed l = not (l.dist = None && l.size = None)
+
+let prune_dist l =
+  if l.dist = None then invalid_arg "Redundant_pls.prune_dist: would be (⊥,⊥)"
+  else { l with size = None }
+
+let prune_size l =
+  if l.size = None then invalid_arg "Redundant_pls.prune_size: would be (⊥,⊥)"
+  else { l with dist = None }
+
+(* "size" check of Lemma 4.1: s(v) = 1 + Σ s(child), every child
+   contributing a present size entry (a child pruned to (d,⊥) under a
+   size-checking parent is a C1 violation, also caught at the child). *)
+let check_size (ctx : label Pls.ctx) s =
+  let ok = ref true in
+  let sum = ref 1 in
+  Array.iteri
+    (fun i p ->
+      if p = ctx.id then
+        match ctx.nbr_labels.(i).size with
+        | Some sc -> sum := !sum + sc
+        | None -> ok := false)
+    ctx.nbr_parents;
+  !ok && s = !sum && s >= 1 && s <= ctx.n
+
+let check_dist (ctx : label Pls.ctx) d =
+  match Pls.parent_label ctx with
+  | `Root -> assert false (* callers dispatch on parent presence first *)
+  | `Broken -> false
+  | `Label pl -> ( match pl.dist with Some d' -> d = d' + 1 && d <= ctx.n | None -> false)
+
+let verify (ctx : label Pls.ctx) =
+  well_formed ctx.label
+  && Array.for_all (fun l -> l.root_id = ctx.label.root_id) ctx.nbr_labels
+  &&
+  match Pls.parent_label ctx with
+  | `Broken -> false
+  | `Root -> (
+      ctx.label.root_id = ctx.id
+      && (match ctx.label.dist with Some d -> d = 0 | None -> true)
+      && match ctx.label.size with Some s -> check_size ctx s | None -> true)
+  | `Label pl -> (
+      match ((ctx.label.dist, ctx.label.size), (pl.dist, pl.size)) with
+      | (Some d, Some s), (Some _, Some _) -> check_dist ctx d && check_size ctx s
+      | (Some d, Some _), (Some _, None) -> check_dist ctx d
+      | (Some _, Some s), (None, Some _) -> check_size ctx s
+      | (Some _, None), (Some _, Some _) -> false
+      | (Some d, None), (Some _, None) -> check_dist ctx d
+      | (Some _, None), (None, Some _) -> false
+      | (None, Some s), (Some _, Some _) -> check_size ctx s
+      | (None, Some _), (Some _, None) -> false
+      | (None, Some s), (None, Some _) -> check_size ctx s
+      | (None, None), _ -> false (* ill-formed self *)
+      | _, (None, None) -> false (* ill-formed parent *))
+
+let valid_pruning t labels =
+  let n = Tree.n t in
+  Array.length labels = n
+  &&
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    let l = labels.(v) in
+    if not (well_formed l) then ok := false;
+    if l.root_id <> Tree.root t then ok := false;
+    (match l.dist with Some d when d <> Tree.depth t v -> ok := false | _ -> ());
+    (match l.size with Some s when s <> Tree.size t v -> ok := false | _ -> ());
+    if v <> Tree.root t then begin
+      let p = Tree.parent t v in
+      (* C1: (d,⊥) forces parent (d',⊥). *)
+      if l.dist <> None && l.size = None && labels.(p).size <> None then ok := false;
+      (* C2: (⊥,s) forces parent to keep its size entry. *)
+      if l.dist = None && l.size <> None && labels.(p).size = None then ok := false
+    end
+  done;
+  !ok
+
+let accepts_tree g t =
+  Pls.accepts g ~parent:(Tree.parents t) ~labels:(prover t) verify

@@ -1,0 +1,57 @@
+(** The redundant — and {e malleable} — proof-labeling scheme for spanning
+    trees (Section IV, Definition 4.1 and Lemma 4.1).
+
+    The label of [v] is a triple [(ID(root), d, s)] combining the
+    distance-based and size-based schemes. The scheme is malleable with
+    respect to the transformation [T ← T + e − f]: a legal labeling may be
+    {e pruned} — some [d] or [s] entries replaced by ⊥ — without any node
+    rejecting, provided
+
+    {ul
+    {- no label becomes [(⊥,⊥)],}
+    {- (C1) if [v] is pruned to [(d,⊥)] then so is its parent, and}
+    {- (C2) if [v] is pruned to [(⊥,s)] then its parent keeps its [s].}}
+
+    The verifier implements the decision table of Lemma 4.1 ("distance"
+    = check [d(v) = d(p(v)) + 1]; "size" = check
+    [s(v) = 1 + Σ s(child)]):
+
+    {v
+                      parent (d',s')   parent (d',⊥)   parent (⊥,s')
+      v = (d,s)       distance+size    distance        size
+      v = (d,⊥)       no               distance        no
+      v = (⊥,s)       size             no              size
+    v}
+
+    Lemma 4.1 guarantees: (1) every pruning of a legal labeling of a
+    spanning tree is accepted everywhere; (2) every labeling of a
+    non-tree is rejected somewhere. The edge-switch protocol of
+    [Repro_core.Switch] keeps every intermediate configuration inside the
+    accepted set, which is how the construction stays loop-free. *)
+
+type label = { root_id : int; dist : int option; size : int option }
+
+val equal : label -> label -> bool
+val pp : Format.formatter -> label -> unit
+val size_bits : int -> label -> int
+
+(** [prover t] — the full (unpruned) redundant labeling of [t]. *)
+val prover : Repro_graph.Tree.t -> label array
+
+(** [well_formed l] — the label is not [(⊥,⊥)]. *)
+val well_formed : label -> bool
+
+(** The Lemma 4.1 verifier. *)
+val verify : label Pls.ctx -> bool
+
+(** [valid_pruning t labels] — [labels] is a pruning of the legal
+    redundant labeling of [t] satisfying C1, C2 and well-formedness
+    (global check, used by tests and the switch protocol's assertions). *)
+val valid_pruning : Repro_graph.Tree.t -> label array -> bool
+
+(** [prune_dist l] = [(root, d, ⊥)]; [prune_size l] = [(root, ⊥, s)].
+    @raise Invalid_argument if the result would be [(⊥,⊥)]. *)
+val prune_dist : label -> label
+
+val prune_size : label -> label
+val accepts_tree : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool

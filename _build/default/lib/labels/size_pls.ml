@@ -1,0 +1,32 @@
+module Tree = Repro_graph.Tree
+module Space = Repro_runtime.Space
+
+type label = { root_id : int; size : int }
+
+let equal a b = a.root_id = b.root_id && a.size = b.size
+let pp ppf l = Format.fprintf ppf "(r=%d,s=%d)" l.root_id l.size
+let size_bits n _ = Space.id_bits n + Space.dist_bits n
+
+let prover t =
+  Array.init (Tree.n t) (fun v -> { root_id = Tree.root t; size = Tree.size t v })
+
+let verify (ctx : label Pls.ctx) =
+  let same_root = Array.for_all (fun l -> l.root_id = ctx.label.root_id) ctx.nbr_labels in
+  let sum_children =
+    Array.to_list ctx.nbr_labels
+    |> List.combine (Array.to_list ctx.nbr_parents)
+    |> List.fold_left (fun acc (p, l) -> if p = ctx.id then acc + l.size else acc) 1
+  in
+  let size_ok =
+    ctx.label.size = sum_children
+    && ctx.label.size >= 1
+    && ctx.label.size <= ctx.n
+    && (match Pls.parent_label ctx with
+       | `Root -> ctx.label.root_id = ctx.id && ctx.label.size = ctx.n
+       | `Label _ -> true
+       | `Broken -> false)
+  in
+  same_root && size_ok
+
+let accepts_tree g t =
+  Pls.accepts g ~parent:(Tree.parents t) ~labels:(prover t) verify

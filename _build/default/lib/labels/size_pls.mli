@@ -1,0 +1,15 @@
+(** The size-based proof-labeling scheme for spanning trees (Section IV):
+    the label of [v] is [(ID(root), s)] where [s] is the number of nodes
+    in [v]'s subtree. Every node checks root agreement and
+    [s = 1 + Σ s(child)]. Together with the distance scheme it forms the
+    paper's {e redundant} labeling, whose malleability (Lemma 4.1) powers
+    loop-free edge switching. *)
+
+type label = { root_id : int; size : int }
+
+val equal : label -> label -> bool
+val pp : Format.formatter -> label -> unit
+val size_bits : int -> label -> int
+val prover : Repro_graph.Tree.t -> label array
+val verify : label Pls.ctx -> bool
+val accepts_tree : Repro_graph.Graph.t -> Repro_graph.Tree.t -> bool

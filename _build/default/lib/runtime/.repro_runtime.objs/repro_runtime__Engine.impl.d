@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Hashtbl List Protocol Random Repro_graph Scheduler View

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Protocol Random Repro_graph Scheduler View

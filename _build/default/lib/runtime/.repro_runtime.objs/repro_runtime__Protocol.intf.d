@@ -1,0 +1,1 @@
+lib/runtime/protocol.mli: Format Random Repro_graph View

@@ -1,0 +1,208 @@
+module Graph = Repro_graph.Graph
+
+module Make (P : Protocol.S) = struct
+  type result = {
+    states : P.state array;
+    steps : int;
+    rounds : int;
+    silent : bool;
+    legal : bool;
+    max_bits : int;
+    first_legal_round : int option;
+  }
+
+  let initial g = Array.init (Graph.n g) (fun v -> P.initial g v)
+  let adversarial rng g = Array.init (Graph.n g) (fun v -> P.random_state rng g v)
+
+  (* Precomputed per-node adjacency, shared by every view of a run. *)
+  type net = { g : Graph.t; ids : int array array; weights : int array array }
+
+  let net_of g =
+    let n = Graph.n g in
+    let ids = Array.init n (fun v -> Array.map fst (Graph.neighbors g v)) in
+    let weights = Array.init n (fun v -> Array.map snd (Graph.neighbors g v)) in
+    { g; ids; weights }
+
+  let view_net net states v =
+    {
+      View.id = v;
+      n = Graph.n net.g;
+      degree = Array.length net.ids.(v);
+      nbr_ids = net.ids.(v);
+      nbr_weights = net.weights.(v);
+      self = states.(v);
+      nbrs = Array.map (fun u -> states.(u)) net.ids.(v);
+    }
+
+  let view g states v = view_net (net_of g) states v
+
+  let enabled_net net states =
+    let acc = ref [] in
+    for v = Graph.n net.g - 1 downto 0 do
+      if P.step (view_net net states v) <> None then acc := v :: !acc
+    done;
+    !acc
+
+  let enabled g states = enabled_net (net_of g) states
+  let silent g states = enabled g states = []
+
+  let max_bits_of states =
+    Array.fold_left (fun acc s -> max acc (P.size_bits (Array.length states) s)) 0 states
+
+  let run ?(max_steps = 10_000_000) ?(max_rounds = 200_000) ?(track_legal = false)
+      ?(stop_when_legal = false) ?on_round ?on_step g sched rng ~init =
+    let net = net_of g in
+    let states = Array.copy init in
+    let n = Graph.n g in
+    let steps = ref 0 in
+    let rounds = ref 0 in
+    let max_bits = ref (max_bits_of states) in
+    let first_legal = ref None in
+    let stop = ref false in
+    (* Incrementally maintained activatability: stepping node [v] can only
+       change the enabled status of [v] and its neighbors. *)
+    let is_enabled = Array.make n false in
+    let enabled_count = ref 0 in
+    let recompute v =
+      let now = P.step (view_net net states v) <> None in
+      if now <> is_enabled.(v) then begin
+        is_enabled.(v) <- now;
+        enabled_count := !enabled_count + if now then 1 else -1
+      end
+    in
+    for v = 0 to n - 1 do
+      recompute v
+    done;
+    let touch v =
+      recompute v;
+      Array.iter recompute net.ids.(v)
+    in
+    let enabled_list () =
+      let acc = ref [] in
+      for v = n - 1 downto 0 do
+        if is_enabled.(v) then acc := v :: !acc
+      done;
+      !acc
+    in
+    (* Adversary bookkeeping. *)
+    let last_step_time = Array.make n (-1) in
+    let rr_cursor = ref 0 in
+    let apply v s =
+      states.(v) <- s;
+      incr steps;
+      last_step_time.(v) <- !steps;
+      max_bits := max !max_bits (P.size_bits n s);
+      touch v;
+      match on_step with Some f -> f v states | None -> ()
+    in
+    let round_boundary () =
+      (match on_round with Some f -> f !rounds states | None -> ());
+      if (track_legal || stop_when_legal) && !first_legal = None then
+        if P.is_legal g states then begin
+          first_legal := Some !rounds;
+          if stop_when_legal then stop := true
+        end
+    in
+    round_boundary ();
+    let pick_central strategy candidates =
+      match strategy with
+      | Scheduler.Random_daemon ->
+          List.nth candidates (Random.State.int rng (List.length candidates))
+      | Scheduler.Max_id -> List.fold_left max (List.hd candidates) candidates
+      | Scheduler.Min_id -> List.fold_left min (List.hd candidates) candidates
+      | Scheduler.Round_robin ->
+          let after = List.filter (fun v -> v >= !rr_cursor) candidates in
+          let v = match after with v :: _ -> v | [] -> List.hd candidates in
+          rr_cursor := v + 1;
+          v
+      | Scheduler.Lifo_adversary ->
+          List.fold_left
+            (fun best v ->
+              if
+                last_step_time.(v) > last_step_time.(best)
+                || (last_step_time.(v) = last_step_time.(best) && v > best)
+              then v
+              else best)
+            (List.hd candidates) candidates
+    in
+    (* [pending] = nodes enabled at the start of the current round that have
+       neither stepped nor been observed non-activatable (Section II-A). *)
+    let pending = Hashtbl.create 64 in
+    let reset_pending () =
+      Hashtbl.reset pending;
+      for v = 0 to n - 1 do
+        if is_enabled.(v) then Hashtbl.replace pending v ()
+      done
+    in
+    reset_pending ();
+    let prune_pending () =
+      let stale =
+        Hashtbl.fold
+          (fun v () acc -> if not is_enabled.(v) then v :: acc else acc)
+          pending []
+      in
+      List.iter (fun v -> Hashtbl.remove pending v) stale;
+      if Hashtbl.length pending = 0 then begin
+        incr rounds;
+        round_boundary ();
+        if !enabled_count > 0 then reset_pending ()
+      end
+    in
+    while (not !stop) && !enabled_count > 0 && !steps < max_steps && !rounds < max_rounds
+    do
+      (match sched with
+      | Scheduler.Synchronous ->
+          let snapshot = Array.copy states in
+          let moves =
+            List.filter_map
+              (fun v ->
+                match P.step (view_net net snapshot v) with
+                | Some s -> Some (v, s)
+                | None -> None)
+              (enabled_list ())
+          in
+          List.iter
+            (fun (v, s) ->
+              apply v s;
+              Hashtbl.remove pending v)
+            moves
+      | Scheduler.Central strategy ->
+          let candidates = enabled_list () in
+          let v = pick_central strategy candidates in
+          (match P.step (view_net net states v) with
+          | Some s -> apply v s
+          | None -> () (* cannot happen: flag is fresh *));
+          Hashtbl.remove pending v
+      | Scheduler.Distributed p ->
+          let candidates = enabled_list () in
+          let chosen =
+            List.filter (fun _ -> Random.State.float rng 1.0 < p) candidates
+          in
+          let chosen =
+            match chosen with
+            | [] -> [ List.nth candidates (Random.State.int rng (List.length candidates)) ]
+            | l -> l
+          in
+          (* Nodes act one after another on the live configuration (the
+             state model is read/write atomic per node). *)
+          List.iter
+            (fun v ->
+              match P.step (view_net net states v) with
+              | Some s ->
+                  apply v s;
+                  Hashtbl.remove pending v
+              | None -> ())
+            chosen);
+      prune_pending ()
+    done;
+    let silent = !enabled_count = 0 in
+    {
+      states;
+      steps = !steps;
+      rounds = !rounds;
+      silent;
+      legal = P.is_legal g states;
+      max_bits = !max_bits;
+      first_legal_round = !first_legal;
+    }
+end

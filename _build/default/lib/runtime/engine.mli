@@ -1,0 +1,62 @@
+(** Execution engine for the state model.
+
+    [Make (P)] runs protocol [P] on a network under a chosen scheduler,
+    counting {e steps} (individual register writes) and {e rounds} exactly
+    as defined in Section II-A of the paper: a round is the shortest
+    execution prefix in which every node that was enabled at the start of
+    the prefix has either taken a step or become non-activatable because
+    of a neighbor's action. *)
+
+module Make (P : Protocol.S) : sig
+  type result = {
+    states : P.state array;  (** final configuration *)
+    steps : int;  (** individual register writes *)
+    rounds : int;  (** completed rounds (paper definition) *)
+    silent : bool;  (** no node enabled at the end *)
+    legal : bool;  (** [P.is_legal] holds at the end *)
+    max_bits : int;  (** max register size (bits) ever observed *)
+    first_legal_round : int option;
+        (** first round boundary at which the configuration was legal; only
+            tracked when [run] is called with [~track_legal:true] *)
+  }
+
+  (** [initial g] is the designated boot configuration. *)
+  val initial : Repro_graph.Graph.t -> P.state array
+
+  (** [adversarial rng g] is a configuration of arbitrary registers — the
+      self-stabilization starting point. *)
+  val adversarial : Random.State.t -> Repro_graph.Graph.t -> P.state array
+
+  (** [view g states v] is node [v]'s local view of the configuration. *)
+  val view : Repro_graph.Graph.t -> P.state array -> int -> P.state View.t
+
+  (** [enabled g states] is the list of enabled (activatable) nodes. *)
+  val enabled : Repro_graph.Graph.t -> P.state array -> int list
+
+  (** [silent g states] — no node is enabled. *)
+  val silent : Repro_graph.Graph.t -> P.state array -> bool
+
+  (** [run ?max_steps ?max_rounds ?track_legal ?stop_when_legal ?on_round
+      ?on_step g sched rng ~init] executes until silence or a limit is
+      hit. [on_round] is called with the round index and the current
+      configuration at every round boundary (round 0 = the initial
+      configuration); [on_step] is called after {e every} individual
+      register write with the acting node and the live configuration —
+      used by invariant monitors such as the loop-freedom check. If
+      [stop_when_legal] is set, execution stops at the first legal round
+      boundary — used for non-silent baselines that never terminate on
+      their own. Defaults: [max_steps] = 10_000_000,
+      [max_rounds] = 200_000, [track_legal] = false. *)
+  val run :
+    ?max_steps:int ->
+    ?max_rounds:int ->
+    ?track_legal:bool ->
+    ?stop_when_legal:bool ->
+    ?on_round:(int -> P.state array -> unit) ->
+    ?on_step:(int -> P.state array -> unit) ->
+    Repro_graph.Graph.t ->
+    Scheduler.t ->
+    Random.State.t ->
+    init:P.state array ->
+    result
+end

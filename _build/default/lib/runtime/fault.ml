@@ -1,0 +1,17 @@
+let corrupt_nodes rng ~random_state g states nodes =
+  let states = Array.copy states in
+  List.iter (fun v -> states.(v) <- random_state rng g v) nodes;
+  states
+
+let corrupt rng ~random_state g states ~k =
+  let n = Array.length states in
+  let k = min k n in
+  (* Reservoir-free selection: shuffle indices, take the first k. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  corrupt_nodes rng ~random_state g states (Array.to_list (Array.sub idx 0 k))

@@ -1,0 +1,27 @@
+(** Transient-fault injection (Section II-A: a fault corrupts the register
+    of one or more nodes; identities and edge weights are incorruptible).
+
+    Used by experiment E8 and the failure-injection tests: starting from a
+    legal silent configuration, corrupt [k] registers and measure the
+    rounds until the system is silent (and legal) again. *)
+
+(** [corrupt rng ~random_state g states ~k] returns a copy of [states]
+    with [k] distinct random nodes' registers replaced by arbitrary
+    values. [k] is clamped to [n]. *)
+val corrupt :
+  Random.State.t ->
+  random_state:(Random.State.t -> Repro_graph.Graph.t -> int -> 'state) ->
+  Repro_graph.Graph.t ->
+  'state array ->
+  k:int ->
+  'state array
+
+(** [corrupt_nodes rng ~random_state g states nodes] corrupts exactly the
+    given nodes. *)
+val corrupt_nodes :
+  Random.State.t ->
+  random_state:(Random.State.t -> Repro_graph.Graph.t -> int -> 'state) ->
+  Repro_graph.Graph.t ->
+  'state array ->
+  int list ->
+  'state array

@@ -1,0 +1,11 @@
+module type S = sig
+  type state
+
+  val equal_state : state -> state -> bool
+  val pp_state : Format.formatter -> state -> unit
+  val size_bits : int -> state -> int
+  val initial : Repro_graph.Graph.t -> int -> state
+  val random_state : Random.State.t -> Repro_graph.Graph.t -> int -> state
+  val step : state View.t -> state option
+  val is_legal : Repro_graph.Graph.t -> state array -> bool
+end

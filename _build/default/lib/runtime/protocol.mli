@@ -1,0 +1,40 @@
+(** Protocols in the state model.
+
+    A protocol is a transition function [δ : S* → S] (Section II-A): given
+    a node's {!View.t}, either the node is not enabled ([step] returns
+    [None]) or it is enabled and [step] returns the register it would
+    write. A protocol is {e silent} on a configuration when no node is
+    enabled.
+
+    [size_bits] reports the number of bits a state occupies in a register,
+    used by the space-complexity experiments (E1/E2/E9). Implementations
+    count the information-theoretic content of their fields (e.g. an id in
+    [{1..n^c}] costs [c log n] bits), not the OCaml heap representation. *)
+
+module type S = sig
+  type state
+
+  val equal_state : state -> state -> bool
+  val pp_state : Format.formatter -> state -> unit
+
+  (** Register size in bits, for space accounting. *)
+  val size_bits : int -> state -> int
+
+  (** A canonical "just booted" register; self-stabilization never relies
+      on it (tests start from adversarial states too), but experiments
+      need a designated start. *)
+  val initial : Repro_graph.Graph.t -> int -> state
+
+  (** An arbitrary (adversarial) register for node [id]: used both as a
+      worst-case initial configuration and for fault injection. *)
+  val random_state : Random.State.t -> Repro_graph.Graph.t -> int -> state
+
+  (** The transition function. [None] = not enabled. Must be a function of
+      the view only. *)
+  val step : state View.t -> state option
+
+  (** The task's legality predicate on global configurations (the set of
+      legal states of Section II-A). Used by tests and experiments, never
+      by [step]. *)
+  val is_legal : Repro_graph.Graph.t -> state array -> bool
+end

@@ -1,0 +1,29 @@
+type central =
+  | Random_daemon
+  | Round_robin
+  | Max_id
+  | Min_id
+  | Lifo_adversary
+
+type t = Synchronous | Central of central | Distributed of float
+
+let all =
+  [
+    ("synchronous", Synchronous);
+    ("random", Central Random_daemon);
+    ("round-robin", Central Round_robin);
+    ("max-id", Central Max_id);
+    ("min-id", Central Min_id);
+    ("adversary", Central Lifo_adversary);
+    ("distributed", Distributed 0.5);
+  ]
+
+let pp ppf t =
+  let name =
+    match List.find_opt (fun (_, s) -> s = t) all with
+    | Some (n, _) -> n
+    | None -> ( match t with Distributed p -> Printf.sprintf "distributed(%.2f)" p | _ -> "?")
+  in
+  Format.pp_print_string ppf name
+
+let by_name s = List.assoc_opt s all

@@ -1,0 +1,35 @@
+(** Schedulers (daemons).
+
+    The paper proves convergence under the {e unfair} scheduler: at each
+    step the adversary merely picks at least one enabled node. We provide
+    the daemons used across the experiment suite (E7):
+
+    - {!Synchronous}: every enabled node steps simultaneously (each step
+      is exactly one round);
+    - [Central Random_daemon]: one uniformly random enabled node;
+    - [Central Round_robin]: one enabled node in cyclic id order (a weakly
+      fair daemon);
+    - [Central Max_id] / [Central Min_id]: deterministic extremal choice;
+    - [Central Lifo_adversary]: an unfair strategy that always re-activates
+      the most recently stepped node that is still enabled, starving the
+      others as long as possible;
+    - [Distributed p]: each enabled node steps independently with
+      probability [p] (at least one forced). *)
+
+type central =
+  | Random_daemon
+  | Round_robin
+  | Max_id
+  | Min_id
+  | Lifo_adversary
+
+type t = Synchronous | Central of central | Distributed of float
+
+(** All schedulers exercised by tests and experiment E7, with display
+    names. *)
+val all : (string * t) list
+
+val pp : Format.formatter -> t -> unit
+
+(** [by_name s] — lookup in {!all}. *)
+val by_name : string -> t option

@@ -1,0 +1,10 @@
+let log2_ceil k =
+  let rec go acc p = if p >= k then acc else go (acc + 1) (p * 2) in
+  if k <= 1 then 0 else go 0 1
+
+let bits_for_range k = max 1 (log2_ceil (max 2 k))
+let id_bits n = bits_for_range (n + 2) (* ids 0..n-1 plus ⊥ *)
+let dist_bits n = bits_for_range (n + 1)
+let weight_bits n = 2 * id_bits n
+let edge_bits n = (2 * id_bits n) + weight_bits n
+let opt cost = function None -> 1 | Some x -> 1 + cost x

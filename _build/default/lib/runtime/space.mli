@@ -1,0 +1,32 @@
+(** Register-size accounting helpers.
+
+    Protocols report their space usage in bits, the complexity measure the
+    paper optimizes. These helpers count the information-theoretic cost of
+    common register fields: an identity in [{1..n^c}] costs [O(log n)]
+    bits, a distance in [{0..n}] costs [⌈log₂(n+1)⌉] bits, etc. *)
+
+(** [bits_for_range k] is the number of bits to store a value in [0..k-1]
+    (at least 1). *)
+val bits_for_range : int -> int
+
+(** [id_bits n] — bits for a node identity (or [⊥]) in an [n]-node
+    network. *)
+val id_bits : int -> int
+
+(** [dist_bits n] — bits for a hop distance in [0..n]. *)
+val dist_bits : int -> int
+
+(** [weight_bits] — bits for an edge weight; the paper assumes weights fit
+    in O(log n) bits, and our generators use weights ≤ m ≤ n², so we
+    charge [2·id_bits n]. *)
+val weight_bits : int -> int
+
+(** [edge_bits n] — bits for an edge descriptor [(id, id, weight)], the
+    paper's [f_i(x) = (ID(a), ID(b), w(a,b))]. *)
+val edge_bits : int -> int
+
+(** [opt cost v] — [cost x] plus one presence bit. *)
+val opt : ('a -> int) -> 'a option -> int
+
+(** [log2_ceil k] = ⌈log₂ k⌉ (0 for k ≤ 1). *)
+val log2_ceil : int -> int

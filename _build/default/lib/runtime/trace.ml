@@ -1,0 +1,39 @@
+type event = { step : int; round : int; node : int; state : string }
+
+type t = {
+  capacity : int;
+  events : event Queue.t;
+  mutable steps : int;
+  mutable round : int;
+}
+
+let create ?(capacity = 1000) () =
+  { capacity; events = Queue.create (); steps = 0; round = 0 }
+
+let on_step t pp node states =
+  t.steps <- t.steps + 1;
+  if Queue.length t.events >= t.capacity then ignore (Queue.pop t.events);
+  Queue.add
+    {
+      step = t.steps;
+      round = t.round;
+      node;
+      state = Format.asprintf "%a" pp states.(node);
+    }
+    t.events
+
+let on_round t round _states = t.round <- round
+let events t = List.of_seq (Queue.to_seq t.events)
+let total t = t.steps
+
+let pp ppf t =
+  Queue.iter
+    (fun e -> Format.fprintf ppf "step %6d round %5d node %3d: %s@." e.step e.round e.node e.state)
+    t.events
+
+let activity t =
+  let tbl = Hashtbl.create 16 in
+  Queue.iter
+    (fun e -> Hashtbl.replace tbl e.node (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.node)))
+    t.events;
+  Hashtbl.fold (fun node count acc -> (node, count) :: acc) tbl [] |> List.sort compare

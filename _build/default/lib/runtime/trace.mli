@@ -1,0 +1,33 @@
+(** Structured execution traces.
+
+    A trace records, per register write, the acting node, the step and
+    round indices, and a short rendering of the new register — enough to
+    replay or audit an execution without storing full configurations.
+    Used by the debug drivers and the examples; the engine feeds it
+    through its [on_step]/[on_round] callbacks. *)
+
+type event = { step : int; round : int; node : int; state : string }
+
+type t
+
+(** [create ?capacity ()] — a trace keeping the last [capacity] events
+    (default 1000; older events are dropped). *)
+val create : ?capacity:int -> unit -> t
+
+(** Hook pair to plug into [Engine.run]: [on_step t pp] records writes;
+    [on_round t] advances the round counter. *)
+val on_step : t -> (Format.formatter -> 's -> unit) -> int -> 's array -> unit
+
+val on_round : t -> int -> 's array -> unit
+
+(** Events in chronological order. *)
+val events : t -> event list
+
+(** Number of events recorded (including dropped ones). *)
+val total : t -> int
+
+(** [pp] renders the retained window, one event per line. *)
+val pp : Format.formatter -> t -> unit
+
+(** [activity t] — per-node write counts over the retained window. *)
+val activity : t -> (int * int) list

@@ -1,0 +1,36 @@
+type 'state t = {
+  id : int;
+  n : int;
+  degree : int;
+  nbr_ids : int array;
+  nbr_weights : int array;
+  self : 'state;
+  nbrs : 'state array;
+}
+
+let index v u =
+  let rec go lo hi =
+    if lo >= hi then raise Not_found
+    else
+      let mid = (lo + hi) / 2 in
+      let x = v.nbr_ids.(mid) in
+      if x = u then mid else if x < u then go (mid + 1) hi else go lo mid
+  in
+  go 0 v.degree
+
+let state_of v u = v.nbrs.(index v u)
+let weight_to v u = v.nbr_weights.(index v u)
+let is_neighbor v u = match index v u with _ -> true | exception Not_found -> false
+
+let fold f init v =
+  let acc = ref init in
+  for i = 0 to v.degree - 1 do
+    acc := f !acc v.nbr_ids.(i) v.nbr_weights.(i) v.nbrs.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.degree && (p v.nbr_ids.(i) v.nbr_weights.(i) v.nbrs.(i) || go (i + 1)) in
+  go 0
+
+let for_all p v = not (exists (fun id w s -> not (p id w s)) v)

@@ -1,0 +1,48 @@
+(** A node's local view in the state model (Section II-A of the paper).
+
+    In one atomic step a node reads its own register and the registers of
+    its neighbors, computes, and writes its register. A [view] is exactly
+    the information available to that computation:
+
+    - the node's own (incorruptible) identity and incident edge weights,
+    - the total number of nodes [n] (the standard "known bound on n"
+      assumption used to kill fake-root chains; see DESIGN.md),
+    - its own register contents, and
+    - the register contents of each neighbor.
+
+    Protocols must not reach beyond a view; the engine constructs views and
+    never exposes the global configuration to [step]. *)
+
+type 'state t = {
+  id : int;  (** this node's identity *)
+  n : int;  (** number of nodes in the network (upper bound) *)
+  degree : int;  (** number of incident edges *)
+  nbr_ids : int array;  (** neighbor identities, increasing *)
+  nbr_weights : int array;  (** weight of the edge to each neighbor *)
+  self : 'state;  (** own register *)
+  nbrs : 'state array;  (** neighbors' registers, aligned with [nbr_ids] *)
+}
+
+(** [index v u] is the position of neighbor [u] in [v.nbr_ids].
+    @raise Not_found if [u] is not a neighbor. *)
+val index : 'state t -> int -> int
+
+(** [state_of v u] is the register of neighbor [u].
+    @raise Not_found if [u] is not a neighbor. *)
+val state_of : 'state t -> int -> 'state
+
+(** [weight_to v u] is the weight of the edge to neighbor [u].
+    @raise Not_found if [u] is not a neighbor. *)
+val weight_to : 'state t -> int -> int
+
+(** [is_neighbor v u]. *)
+val is_neighbor : 'state t -> int -> bool
+
+(** [fold f init v] folds [f acc nbr_id weight nbr_state] over neighbors. *)
+val fold : ('a -> int -> int -> 'state -> 'a) -> 'a -> 'state t -> 'a
+
+(** [exists p v] — does some neighbor (id, weight, state) satisfy [p]? *)
+val exists : (int -> int -> 'state -> bool) -> 'state t -> bool
+
+(** [for_all p v]. *)
+val for_all : (int -> int -> 'state -> bool) -> 'state t -> bool

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Generators Graph List Min_degree Mst QCheck2 QCheck_alcotest QCheck_base_runner Random Repro_graph Traversal Tree Union_find
