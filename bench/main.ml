@@ -17,16 +17,64 @@ open Repro_core
 open Repro_baselines
 module E = Graph.Edge
 
-let rng_of tag = Random.State.make [| 0xE57; tag |]
+(* [--seed N] replaces the default RNG seed base; remaining arguments
+   select experiments. *)
+let seed_base, exp_args =
+  let rec go seed acc = function
+    | [] -> (seed, List.rev acc)
+    | "--seed" :: v :: rest ->
+        go (match int_of_string_opt v with Some s -> s | None -> seed) acc rest
+    | a :: rest -> go seed (a :: acc) rest
+  in
+  go 0xE57 [] (Array.to_list Sys.argv |> List.tl)
+
+let rng_of tag = Random.State.make [| seed_base; tag |]
 let header id title = Format.printf "@.==== %s: %s ====@." id title
 
 let log2c k =
   let rec go acc p = if p >= k then acc else go (acc + 1) (p * 2) in
   if k <= 1 then 0 else go 0 1
 
-let selected =
-  let args = Array.to_list Sys.argv |> List.tl in
-  fun id -> args = [] || List.mem id args
+let selected id = exp_args = [] || List.mem id exp_args
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_repro.json: every engine run an experiment performs is recorded
+   as {exp, algo, n, rounds, steps, max_bits, wall_ns} and the collection
+   is written at exit — the machine-readable trajectory perf PRs diff
+   against. wall_ns is Sys.time (CPU ns): monotonic enough for
+   trend-tracking without a Unix dependency. *)
+
+let bench_records : Metrics.Json.t list ref = ref []
+
+let record ~exp ~algo ~n ~rounds ~steps ~max_bits ~wall_ns =
+  bench_records :=
+    Metrics.Json.(
+      Obj
+        [
+          ("exp", Str exp); ("algo", Str algo); ("n", Int n); ("rounds", Int rounds);
+          ("steps", Int steps); ("max_bits", Int max_bits); ("wall_ns", Int wall_ns);
+        ])
+    :: !bench_records
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, int_of_float ((Sys.time () -. t0) *. 1e9))
+
+let write_bench_repro () =
+  let path = "BENCH_repro.json" in
+  let json =
+    Metrics.Json.(
+      Obj
+        [
+          ("seed", Int seed_base);
+          ("experiments", List (List.rev !bench_records));
+        ])
+  in
+  let oc = open_out path in
+  Metrics.Json.to_channel oc json;
+  close_out oc;
+  Format.printf "%s: %d engine-run records written@." path (List.length !bench_records)
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Corollary 6.1: MST rounds and register bits vs n *)
@@ -41,7 +89,12 @@ let e1 () =
     (fun n ->
       let rng = rng_of (100 + n) in
       let g = Generators.random_connected rng ~n ~m:(2 * n) in
-      let r = ME.run ~max_rounds:30_000 g Scheduler.Synchronous rng ~init:(ME.initial g) in
+      let r, wall_ns =
+        timed (fun () ->
+            ME.run ~max_rounds:30_000 g Scheduler.Synchronous rng ~init:(ME.initial g))
+      in
+      record ~exp:"E1" ~algo:"mst" ~n ~rounds:r.ME.rounds ~steps:r.ME.steps
+        ~max_bits:r.ME.max_bits ~wall_ns;
       let weight, is_mst =
         match Mst_builder.tree_of g r.ME.states with
         | Some t -> (Tree.weight t g, Mst.is_mst g t)
@@ -80,7 +133,11 @@ let e2 () =
       let rng = rng_of (200 + i) in
       let g = gen rng in
       let n = Graph.n g in
-      let r = DE.run g Scheduler.Synchronous rng ~init:(DE.initial g) in
+      let r, wall_ns =
+        timed (fun () -> DE.run g Scheduler.Synchronous rng ~init:(DE.initial g))
+      in
+      record ~exp:"E2" ~algo:"mdst" ~n ~rounds:r.DE.rounds ~steps:r.DE.steps
+        ~max_bits:r.DE.max_bits ~wall_ns;
       let deg =
         match Mdst_builder.tree_of g r.DE.states with
         | Some t -> Tree.max_degree t
@@ -204,8 +261,16 @@ let e5 () =
     (fun n ->
       let rng = rng_of (500 + n) in
       let g = Generators.gnp rng ~n ~p:(4.0 /. float_of_int n) in
-      let r = BE.run g Scheduler.Synchronous rng ~init:(BE.adversarial rng g) in
-      let a = AE.run g Scheduler.Synchronous rng ~init:(AE.adversarial rng g) in
+      let r, r_ns =
+        timed (fun () -> BE.run g Scheduler.Synchronous rng ~init:(BE.adversarial rng g))
+      in
+      let a, a_ns =
+        timed (fun () -> AE.run g Scheduler.Synchronous rng ~init:(AE.adversarial rng g))
+      in
+      record ~exp:"E5" ~algo:"bfs" ~n ~rounds:r.BE.rounds ~steps:r.BE.steps
+        ~max_bits:r.BE.max_bits ~wall_ns:r_ns;
+      record ~exp:"E5" ~algo:"adhoc-bfs" ~n ~rounds:a.AE.rounds ~steps:a.AE.steps
+        ~max_bits:a.AE.max_bits ~wall_ns:a_ns;
       Format.printf "%6d | %8d %6d %6b | %9d %6d %6b@." n r.BE.rounds r.BE.max_bits
         r.BE.legal a.AE.rounds a.AE.max_bits a.AE.legal)
     [ 16; 32; 64; 128; 256 ];
@@ -427,7 +492,11 @@ let e11 () =
     (fun n ->
       let rng = rng_of (1100 + n) in
       let g = Generators.random_connected rng ~n ~m:(2 * n) in
-      let r = SE.run g Scheduler.Synchronous rng ~init:(SE.adversarial rng g) in
+      let r, wall_ns =
+        timed (fun () -> SE.run g Scheduler.Synchronous rng ~init:(SE.adversarial rng g))
+      in
+      record ~exp:"E11" ~algo:"spt" ~n ~rounds:r.SE.rounds ~steps:r.SE.steps
+        ~max_bits:r.SE.max_bits ~wall_ns;
       Format.printf "%6d %8d %8d %8b %10d@." n r.SE.rounds r.SE.max_bits
         (Spt_builder.is_spt g r.SE.states)
         (Spt_builder.potential g r.SE.states))
@@ -517,4 +586,5 @@ let () =
     ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) all;
+  write_bench_repro ();
   Format.printf "@.done.@."

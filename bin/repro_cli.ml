@@ -30,30 +30,57 @@ let report o =
   Format.printf "max register : %d bits@." o.max_bits;
   if o.note <> "" then Format.printf "result       : %s@." o.note
 
-let run_algo algo g sched rng ~adversarial ~faults ~max_rounds =
+let run_algo algo g sched rng ~adversarial ~faults ~max_rounds ?(meta = []) ?metrics_out
+    ?trace_out () =
   let generic (type s) (module P : Protocol.S with type state = s) ~note =
     let module E = Engine.Make (P) in
+    (* Each run gets fresh observers, so after fault injection the emitted
+       trajectory is the recovery run — the one under study. *)
+    let observed ~init =
+      let telemetry = Option.map (fun _ -> Telemetry.create ()) metrics_out in
+      let trace = Option.map (fun _ -> Trace.create ~capacity:1_000_000 ()) trace_out in
+      let r =
+        E.run ~max_rounds ?telemetry
+          ?on_step:(Option.map (fun tr -> Trace.on_step tr P.pp_state) trace)
+          ?on_round:(Option.map (fun tr v s -> Trace.on_round tr v s) trace)
+          g sched rng ~init
+      in
+      (r, telemetry, trace)
+    in
     let init = if adversarial then E.adversarial rng g else E.initial g in
-    let r = E.run ~max_rounds g sched rng ~init in
-    let states =
+    let first = observed ~init in
+    let r, telemetry, trace =
+      let r, _, _ = first in
       if faults > 0 && r.E.silent then begin
         let corrupted =
           Fault.corrupt rng ~random_state:P.random_state g r.E.states ~k:faults
         in
         Format.printf "(injected %d faults after stabilization)@." faults;
-        let r2 = E.run ~max_rounds g sched rng ~init:corrupted in
-        r2
+        observed ~init:corrupted
       end
-      else r
+      else first
     in
+    (match (metrics_out, telemetry) with
+    | Some path, Some tel ->
+        Telemetry.write_json ~meta path tel;
+        Format.printf "metrics      : written to %s (%a)@." path Telemetry.pp tel
+    | _ -> ());
+    (match (trace_out, trace) with
+    | Some path, Some tr ->
+        let oc = open_out path in
+        output_string oc (Trace.to_csv tr);
+        close_out oc;
+        Format.printf "trace        : %d of %d events written to %s@." (Trace.retained tr)
+          (Trace.total tr) path
+    | _ -> ());
     {
       algo;
-      silent = states.E.silent;
-      legal = states.E.legal;
-      rounds = states.E.rounds;
-      steps = states.E.steps;
-      max_bits = states.E.max_bits;
-      note = note states.E.states;
+      silent = r.E.silent;
+      legal = r.E.legal;
+      rounds = r.E.rounds;
+      steps = r.E.steps;
+      max_bits = r.E.max_bits;
+      note = note r.E.states;
     }
   in
   match algo with
@@ -131,25 +158,55 @@ let faults_arg =
 let max_rounds_arg =
   Arg.(value & opt int 200_000 & info [ "max-rounds" ] ~docv:"R" ~doc:"Round budget.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Attach a telemetry sink and write the per-round convergence series (enabled \
+           nodes, writes, register bits, potential phi) plus metric summaries as JSON to \
+           $(docv).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Record the per-write execution trace and write it as CSV to $(docv).")
+
 let run_cmd =
-  let run algo family n seed sched adversarial faults max_rounds =
+  let run algo family n seed sched adversarial faults max_rounds metrics_out trace_out =
+    (* The single [seed] determines the topology, the initial configuration,
+       and every scheduler/fault coin flip, so telemetry runs are exactly
+       reproducible; the seed is recorded in the metrics meta block. *)
     let rng = Random.State.make [| seed |] in
     match Generators.by_name family with
     | None -> `Error (false, Printf.sprintf "unknown graph family %S" family)
     | Some gen -> (
         match Scheduler.by_name sched with
         | None -> `Error (false, Printf.sprintf "unknown scheduler %S" sched)
-        | Some sched ->
+        | Some scheduler ->
             let g = gen rng ~n in
             Format.printf "graph: %s n=%d m=%d@." family (Graph.n g) (Graph.m g);
-            report (run_algo algo g sched rng ~adversarial ~faults ~max_rounds);
+            let meta =
+              Metrics.Json.
+                [
+                  ("algo", Str algo); ("graph", Str family); ("n", Int (Graph.n g));
+                  ("m", Int (Graph.m g)); ("seed", Int seed); ("sched", Str sched);
+                  ("adversarial", Bool adversarial); ("faults", Int faults);
+                ]
+            in
+            report
+              (run_algo algo g scheduler rng ~adversarial ~faults ~max_rounds ~meta
+                 ?metrics_out ?trace_out ());
             `Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a construction and report statistics.")
     Term.(
       ret
         (const run $ algo_arg $ graph_arg $ n_arg $ seed_arg $ sched_arg $ adversarial_arg
-       $ faults_arg $ max_rounds_arg))
+       $ faults_arg $ max_rounds_arg $ metrics_out_arg $ trace_out_arg))
 
 let sweep_cmd =
   let sweep algo family ns trials seed sched =
@@ -169,7 +226,7 @@ let sweep_cmd =
               let g = gen rng ~n in
               let o =
                 run_algo algo g sched rng ~adversarial:false ~faults:0
-                  ~max_rounds:200_000
+                  ~max_rounds:200_000 ()
               in
               Format.printf "%s,%s,%d,%d,%d,%b,%b,%d,%d,%d@." algo family (Graph.n g)
                 (Graph.m g) trial o.silent o.legal o.rounds o.steps o.max_bits

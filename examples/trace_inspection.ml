@@ -1,6 +1,7 @@
-(* Execution-trace inspection: run the MST builder with the step-level
-   monitor attached, then show which nodes did the work and the tail of
-   the event log — the raw material for auditing rule activations.
+(* Convergence inspection: run the MST builder with the telemetry sink
+   attached and read the per-round phi trajectory — the potential of
+   Section VI decreasing to 0 — together with write/bit statistics and
+   the per-node activity from the step-level trace.
 
      dune exec examples/trace_inspection.exe *)
 
@@ -14,27 +15,30 @@ let () =
   let g = Generators.gnp rng ~n:16 ~p:0.3 in
   Format.printf "network: n=%d m=%d@." (Graph.n g) (Graph.m g);
 
+  let telemetry = Telemetry.create () in
   let trace = Trace.create ~capacity:2000 () in
   let r =
-    ME.run g (Scheduler.Central Scheduler.Round_robin) rng ~init:(ME.initial g)
+    ME.run g (Scheduler.Central Scheduler.Round_robin) rng ~init:(ME.initial g) ~telemetry
       ~on_step:(Trace.on_step trace Mst_builder.P.pp_state)
       ~on_round:(Trace.on_round trace)
   in
-  Format.printf "silent=%b legal=%b rounds=%d steps=%d (trace recorded %d writes)@."
-    r.ME.silent r.ME.legal r.ME.rounds r.ME.steps (Trace.total trace);
+  Format.printf "silent=%b legal=%b %a@." r.ME.silent r.ME.legal Telemetry.pp telemetry;
 
-  Format.printf "@.write counts per node (retained window):@.";
+  (* The phi trajectory, compressed to its change points: phi is undefined
+     until the registers encode a tree, then decreases cyclically to 0
+     (Lemma 3.1 / Section VI). *)
+  Format.printf "@.phi trajectory (round: phi at each change):@.";
+  let last = ref min_int in
+  List.iter
+    (fun (round, phi) ->
+      if phi <> !last then begin
+        Format.printf "  round %4d: phi = %d@." round phi;
+        last := phi
+      end)
+    (Telemetry.phi_series telemetry);
+
+  Format.printf "@.write counts per node (retained window of %d):@." (Trace.capacity trace);
   List.iter (fun (node, count) -> Format.printf "  node %2d: %4d writes@." node count)
     (Trace.activity trace);
 
-  Format.printf "@.last 10 register writes:@.";
-  let events = Trace.events trace in
-  let tail =
-    let len = List.length events in
-    List.filteri (fun i _ -> i >= len - 10) events
-  in
-  List.iter
-    (fun (e : Trace.event) ->
-      Format.printf "  step %5d round %4d node %2d: %s@." e.Trace.step e.Trace.round
-        e.Trace.node e.Trace.state)
-    tail
+  Format.printf "@.aggregated metrics:@.%a" Metrics.pp (Telemetry.registry telemetry)

@@ -60,6 +60,19 @@ module P = struct
           | _ -> ok := false)
       sts;
     !ok
+
+  (* Same distance-defect potential as the PLS-guided BFS: Σ_v |d(v) −
+     dist_G(v, 0)|, capped per node. *)
+  let potential g sts =
+    let d = Traversal.bfs_distances g ~src:0 in
+    let n = Graph.n g in
+    let total = ref 0 in
+    Array.iteri
+      (fun v (s : state) ->
+        let dv = if s.dist < 0 then n else min s.dist n in
+        total := !total + abs (dv - min d.(v) n))
+      sts;
+    Some !total
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

@@ -118,6 +118,14 @@ module P = struct
     let parent = Array.map (fun s -> s.parent) sts in
     Tree.check_parents ~root:0 parent
     && Mst.is_mst g (Tree.of_parents ~root:0 parent)
+
+  (* Weight gap to the MST — 0 exactly on MSTs, so a silent-but-wrong
+     fixpoint (the E9 failure mode) shows as a non-zero final phi. *)
+  let potential g sts =
+    let parent = Array.map (fun s -> s.parent) sts in
+    if Tree.check_parents ~root:0 parent then
+      Some (Tree.weight (Tree.of_parents ~root:0 parent) g - Mst.mst_weight g)
+    else None
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

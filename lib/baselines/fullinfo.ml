@@ -146,6 +146,9 @@ module Make (T : TASK) : INSTANCE = struct
 
     let is_legal g sts =
       match tree_of g sts with None -> false | Some t -> T.is_legal_tree g t
+
+    (* Convergence is by info/plan waves, not potential descent. *)
+    let potential _g _sts = None
   end
 
   module Engine = Repro_runtime.Engine.Make (P)

@@ -10,23 +10,6 @@ let is_bfs_tree g sts =
   Array.iteri (fun v (s : St_layer.t) -> if s.dist <> d.(v) then ok := false) sts;
   !ok
 
-module P = struct
-  type state = St_layer.t
-
-  let equal_state = St_layer.equal
-  let pp_state = St_layer.pp
-  let size_bits = St_layer.size_bits
-  let initial _g v = St_layer.self_root v
-  let random_state rng g _v = St_layer.random rng ~n:(Graph.n g)
-  let step view = St_layer.step view ~get:Fun.id ~keep_shape:false
-  let is_legal = is_bfs_tree
-end
-
-module Engine = Repro_runtime.Engine.Make (P)
-
-let verify (view : St_layer.t View.t) =
-  View.for_all (fun _ _ (u : St_layer.t) -> u.dist >= view.View.self.St_layer.dist - 1) view
-
 let potential g sts =
   let d = Traversal.bfs_distances g ~src:0 in
   let n = Graph.n g in
@@ -37,3 +20,21 @@ let potential g sts =
       total := !total + abs (dv - min d.(v) n))
     sts;
   !total
+
+module P = struct
+  type state = St_layer.t
+
+  let equal_state = St_layer.equal
+  let pp_state = St_layer.pp
+  let size_bits = St_layer.size_bits
+  let initial _g v = St_layer.self_root v
+  let random_state rng g _v = St_layer.random rng ~n:(Graph.n g)
+  let step view = St_layer.step view ~get:Fun.id ~keep_shape:false
+  let is_legal = is_bfs_tree
+  let potential g sts = Some (potential g sts)
+end
+
+module Engine = Repro_runtime.Engine.Make (P)
+
+let verify (view : St_layer.t View.t) =
+  View.for_all (fun _ _ (u : St_layer.t) -> u.dist >= view.View.self.St_layer.dist - 1) view

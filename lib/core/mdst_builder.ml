@@ -554,6 +554,24 @@ let is_legal g sts =
   | None -> false
   | Some t -> Min_degree.find_marking g t <> None
 
+(* The Section VIII potential of the encoded tree: n·Δ_T + |{v : deg_T(v)
+   = Δ_T}| (the lexicographic (Δ, N_Δ) pair of Lemma 7.1 flattened to one
+   integer, as in experiment E10). 0 is unreachable — a tree always has a
+   max-degree node — so the telemetry convention is phi = n·Δ + N_Δ
+   relative to the FR fixpoint: we report the raw value and let the
+   trajectory's plateau mark silence. *)
+let potential g sts =
+  match tree_of g sts with
+  | None -> None
+  | Some t ->
+      let n = Tree.n t in
+      let d = Tree.max_degree t in
+      let nd = ref 0 in
+      for v = 0 to n - 1 do
+        if Tree.degree t v = d then incr nd
+      done;
+      Some ((n * d) + !nd)
+
 let marking_of sts =
   {
     Min_degree.good = Array.map (fun s -> s.good) sts;
@@ -725,6 +743,7 @@ module P = struct
     | Some s' when equal_state s' view.View.self -> None
     | r -> r
   let is_legal = is_legal
+  let potential = potential
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

@@ -553,6 +553,7 @@ module P = struct
     | Some s' when equal_state s' view.View.self -> None
     | r -> r
   let is_legal = is_legal
+  let potential = potential
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

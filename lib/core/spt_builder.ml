@@ -32,6 +32,17 @@ let dijkstra g ~src =
    as infinity; hop counts are TTL-bounded by n as in St_layer. *)
 let infinity_of g = Graph.total_weight g + 1
 
+let potential g sts =
+  let d = dijkstra g ~src:0 in
+  let inf = infinity_of g in
+  let total = ref 0 in
+  Array.iteri
+    (fun v (s : state) ->
+      let dv = if s.wdist < 0 then inf else min s.wdist inf in
+      total := !total + abs (dv - min d.(v) inf))
+    sts;
+  !total
+
 module P = struct
   type nonrec state = state
 
@@ -121,19 +132,10 @@ module P = struct
       end
     done;
     !ok
+
+  let potential g sts = Some (potential g sts)
 end
 
 module Engine = Repro_runtime.Engine.Make (P)
 
 let is_spt = P.is_legal
-
-let potential g sts =
-  let d = dijkstra g ~src:0 in
-  let inf = infinity_of g in
-  let total = ref 0 in
-  Array.iteri
-    (fun v (s : state) ->
-      let dv = if s.wdist < 0 then inf else min s.wdist inf in
-      total := !total + abs (dv - min d.(v) inf))
-    sts;
-  !total

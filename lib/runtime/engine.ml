@@ -50,7 +50,7 @@ module Make (P : Protocol.S) = struct
     Array.fold_left (fun acc s -> max acc (P.size_bits (Array.length states) s)) 0 states
 
   let run ?(max_steps = 10_000_000) ?(max_rounds = 200_000) ?(track_legal = false)
-      ?(stop_when_legal = false) ?on_round ?on_step g sched rng ~init =
+      ?(stop_when_legal = false) ?telemetry ?on_round ?on_step g sched rng ~init =
     let net = net_of g in
     let states = Array.copy init in
     let n = Graph.n g in
@@ -91,11 +91,26 @@ module Make (P : Protocol.S) = struct
       states.(v) <- s;
       incr steps;
       last_step_time.(v) <- !steps;
-      max_bits := max !max_bits (P.size_bits n s);
+      let bits = P.size_bits n s in
+      max_bits := max !max_bits bits;
+      (match telemetry with Some t -> Telemetry.on_write t ~bits | None -> ());
       touch v;
       match on_step with Some f -> f v states | None -> ()
     in
     let round_boundary () =
+      (match telemetry with
+      | Some t ->
+          let mx = ref 0 and total = ref 0 in
+          Array.iter
+            (fun s ->
+              let b = P.size_bits n s in
+              if b > !mx then mx := b;
+              total := !total + b)
+            states;
+          let phi = if Telemetry.wants_phi t then P.potential g states else None in
+          Telemetry.on_round t ~round:!rounds ~enabled:!enabled_count ~max_bits:!mx
+            ~total_bits:!total ~phi
+      | None -> ());
       (match on_round with Some f -> f !rounds states | None -> ());
       if (track_legal || stop_when_legal) && !first_legal = None then
         if P.is_legal g states then begin

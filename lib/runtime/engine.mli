@@ -36,22 +36,27 @@ module Make (P : Protocol.S) : sig
   (** [silent g states] — no node is enabled. *)
   val silent : Repro_graph.Graph.t -> P.state array -> bool
 
-  (** [run ?max_steps ?max_rounds ?track_legal ?stop_when_legal ?on_round
-      ?on_step g sched rng ~init] executes until silence or a limit is
-      hit. [on_round] is called with the round index and the current
-      configuration at every round boundary (round 0 = the initial
-      configuration); [on_step] is called after {e every} individual
-      register write with the acting node and the live configuration —
-      used by invariant monitors such as the loop-freedom check. If
-      [stop_when_legal] is set, execution stops at the first legal round
-      boundary — used for non-silent baselines that never terminate on
-      their own. Defaults: [max_steps] = 10_000_000,
-      [max_rounds] = 200_000, [track_legal] = false. *)
+  (** [run ?max_steps ?max_rounds ?track_legal ?stop_when_legal ?telemetry
+      ?on_round ?on_step g sched rng ~init] executes until silence or a
+      limit is hit. [on_round] is called with the round index and the
+      current configuration at every round boundary (round 0 = the
+      initial configuration); [on_step] is called after {e every}
+      individual register write with the acting node and the live
+      configuration — used by invariant monitors such as the loop-freedom
+      check. A [telemetry] sink additionally receives, at every round
+      boundary, the enabled-node count, register-write count, max/total
+      register bits, and (unless the sink opts out) the live
+      [P.potential] — see {!Telemetry}. If [stop_when_legal] is set,
+      execution stops at the first legal round boundary — used for
+      non-silent baselines that never terminate on their own. Defaults:
+      [max_steps] = 10_000_000, [max_rounds] = 200_000,
+      [track_legal] = false. *)
   val run :
     ?max_steps:int ->
     ?max_rounds:int ->
     ?track_legal:bool ->
     ?stop_when_legal:bool ->
+    ?telemetry:Telemetry.t ->
     ?on_round:(int -> P.state array -> unit) ->
     ?on_step:(int -> P.state array -> unit) ->
     Repro_graph.Graph.t ->

@@ -1,0 +1,343 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+        else Buffer.add_string buf "null"
+    | Str s -> escape_to buf s
+    | List l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          l;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    write buf j;
+    Buffer.contents buf
+
+  let to_channel oc j =
+    output_string oc (to_string j);
+    output_char oc '\n'
+
+  exception Bad
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise Bad in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c = if peek () = c then advance () else raise Bad in
+    let literal word v =
+      String.iter (fun c -> expect c) word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | '"' -> Buffer.add_char buf '"'; advance ()
+            | '\\' -> Buffer.add_char buf '\\'; advance ()
+            | '/' -> Buffer.add_char buf '/'; advance ()
+            | 'n' -> Buffer.add_char buf '\n'; advance ()
+            | 'r' -> Buffer.add_char buf '\r'; advance ()
+            | 't' -> Buffer.add_char buf '\t'; advance ()
+            | 'b' -> Buffer.add_char buf '\b'; advance ()
+            | 'f' -> Buffer.add_char buf '\012'; advance ()
+            | 'u' ->
+                advance ();
+                if !pos + 4 > n then raise Bad;
+                let code =
+                  try int_of_string ("0x" ^ String.sub s !pos 4) with _ -> raise Bad
+                in
+                pos := !pos + 4;
+                (* Only code points the writer emits (< 0x80); others are
+                   replaced rather than UTF-8 encoded. *)
+                Buffer.add_char buf (if code < 0x80 then Char.chr code else '?')
+            | _ -> raise Bad);
+            go ()
+        | c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num c =
+        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      in
+      while !pos < n && is_num s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with Some f -> Float f | None -> raise Bad)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | 'n' -> literal "null" Null
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | '"' -> Str (parse_string ())
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then begin advance (); List [] end
+          else begin
+            let acc = ref [ parse_value () ] in
+            skip_ws ();
+            while peek () = ',' do
+              advance ();
+              acc := parse_value () :: !acc;
+              skip_ws ()
+            done;
+            expect ']';
+            List (List.rev !acc)
+          end
+      | '{' ->
+          advance ();
+          skip_ws ();
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          if peek () = '}' then begin advance (); Obj [] end
+          else begin
+            let acc = ref [ field () ] in
+            skip_ws ();
+            while peek () = ',' do
+              advance ();
+              acc := field () :: !acc;
+              skip_ws ()
+            done;
+            expect '}';
+            Obj (List.rev !acc)
+          end
+      | _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then raise Bad;
+      v
+    with
+    | v -> Some v
+    | exception Bad -> None
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : int; mutable g_set : bool }
+
+(* 64 log-scale buckets: index 0 = values <= 0; index i >= 1 = values
+   with exactly i significant bits, i.e. [2^(i-1), 2^i - 1]. max_int has
+   62 bits, so no bucket bound ever overflows. *)
+type histogram = {
+  mutable count : int;
+  mutable sum : int;
+  mutable mn : int;
+  mutable mx : int;
+  bkts : int array;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { tbl : (string, instrument) Hashtbl.t; mutable order : string list (* reverse *) }
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let register t name make wrap unwrap kind =
+  match Hashtbl.find_opt t.tbl name with
+  | Some inst -> (
+      match unwrap inst with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a different kind (%s)" name
+               kind))
+  | None ->
+      let x = make () in
+      Hashtbl.replace t.tbl name (wrap x);
+      t.order <- name :: t.order;
+      x
+
+let counter t name =
+  register t name
+    (fun () -> { c = 0 })
+    (fun c -> C c)
+    (function C c -> Some c | _ -> None)
+    "counter"
+
+let gauge t name =
+  register t name
+    (fun () -> { g = 0; g_set = false })
+    (fun g -> G g)
+    (function G g -> Some g | _ -> None)
+    "gauge"
+
+let histogram t name =
+  register t name
+    (fun () -> { count = 0; sum = 0; mn = 0; mx = 0; bkts = Array.make 64 0 })
+    (fun h -> H h)
+    (function H h -> Some h | _ -> None)
+    "histogram"
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let set g v =
+  g.g <- v;
+  g.g_set <- true
+
+let gauge_value g = if g.g_set then Some g.g else None
+
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let bits = ref 0 in
+    let x = ref v in
+    while !x <> 0 do
+      bits := !bits + 1;
+      x := !x lsr 1
+    done;
+    !bits
+  end
+
+let bucket_lower i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+let observe h v =
+  if h.count = 0 then begin
+    h.mn <- v;
+    h.mx <- v
+  end
+  else begin
+    if v < h.mn then h.mn <- v;
+    if v > h.mx then h.mx <- v
+  end;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  let i = bucket_index v in
+  h.bkts.(i) <- h.bkts.(i) + 1
+
+let hist_count h = h.count
+let hist_sum h = h.sum
+let hist_min h = if h.count = 0 then None else Some h.mn
+let hist_max h = if h.count = 0 then None else Some h.mx
+
+let buckets h =
+  let acc = ref [] in
+  for i = Array.length h.bkts - 1 downto 0 do
+    if h.bkts.(i) > 0 then acc := (bucket_lower i, h.bkts.(i)) :: !acc
+  done;
+  !acc
+
+let fold_instruments t f =
+  List.fold_left (fun acc name -> f acc name (Hashtbl.find t.tbl name)) []
+    (List.rev t.order)
+  |> List.rev
+
+let to_json t =
+  let pick f = fold_instruments t (fun acc name i -> match f name i with Some x -> x :: acc | None -> acc) in
+  let counters = pick (fun name -> function C c -> Some (name, Json.Int c.c) | _ -> None) in
+  let gauges =
+    pick (fun name -> function
+      | G g -> Some (name, if g.g_set then Json.Int g.g else Json.Null)
+      | _ -> None)
+  in
+  let histograms =
+    pick (fun name -> function
+      | H h ->
+          let bs =
+            List.map
+              (fun (ge, count) -> Json.Obj [ ("ge", Json.Int ge); ("count", Json.Int count) ])
+              (buckets h)
+          in
+          Some
+            ( name,
+              Json.Obj
+                [
+                  ("count", Json.Int h.count);
+                  ("sum", Json.Int h.sum);
+                  ("min", match hist_min h with Some v -> Json.Int v | None -> Json.Null);
+                  ("max", match hist_max h with Some v -> Json.Int v | None -> Json.Null);
+                  ("buckets", Json.List bs);
+                ] )
+      | _ -> None)
+  in
+  Json.Obj
+    [ ("counters", Json.Obj counters); ("gauges", Json.Obj gauges); ("histograms", Json.Obj histograms) ]
+
+let pp ppf t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | C c -> Format.fprintf ppf "%s: %d@." name c.c
+      | G g ->
+          if g.g_set then Format.fprintf ppf "%s: %d@." name g.g
+          else Format.fprintf ppf "%s: (unset)@." name
+      | H h ->
+          Format.fprintf ppf "%s: count=%d sum=%d%s@." name h.count h.sum
+            (if h.count = 0 then "" else Printf.sprintf " min=%d max=%d" h.mn h.mx))
+    (List.rev t.order)

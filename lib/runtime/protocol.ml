@@ -8,4 +8,5 @@ module type S = sig
   val random_state : Random.State.t -> Repro_graph.Graph.t -> int -> state
   val step : state View.t -> state option
   val is_legal : Repro_graph.Graph.t -> state array -> bool
+  val potential : Repro_graph.Graph.t -> state array -> int option
 end

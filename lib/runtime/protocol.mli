@@ -37,4 +37,12 @@ module type S = sig
       legal states of Section II-A). Used by tests and experiments, never
       by [step]. *)
   val is_legal : Repro_graph.Graph.t -> state array -> bool
+
+  (** The protocol's global potential [Φ] on a configuration, when it
+      defines one (Lemmas 3.1/7.1: [Φ] decreases along legitimate
+      executions and is 0 exactly on the stable family). [None] when the
+      protocol has no potential or the configuration is outside its
+      domain (e.g. the registers do not encode a tree). Observational
+      only — consumed by {!Telemetry}, never by [step]. *)
+  val potential : Repro_graph.Graph.t -> state array -> int option
 end

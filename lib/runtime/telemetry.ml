@@ -1,0 +1,139 @@
+type sample = {
+  round : int;
+  enabled : int;
+  writes : int;
+  writes_total : int;
+  max_bits : int;
+  total_bits : int;
+  phi : int option;
+}
+
+type t = {
+  record_phi : bool;
+  reg : Metrics.t;
+  mutable rev_samples : sample list;
+  mutable writes_total : int;
+  mutable writes_at_last_round : int;
+  writes_c : Metrics.counter;
+  writes_per_round_h : Metrics.histogram;
+  enabled_per_round_h : Metrics.histogram;
+  register_bits_h : Metrics.histogram;
+  phi_g : Metrics.gauge;
+  max_bits_g : Metrics.gauge;
+  rounds_g : Metrics.gauge;
+}
+
+let create ?(record_phi = true) ?registry () =
+  let reg = match registry with Some r -> r | None -> Metrics.create () in
+  {
+    record_phi;
+    reg;
+    rev_samples = [];
+    writes_total = 0;
+    writes_at_last_round = 0;
+    writes_c = Metrics.counter reg "telemetry.writes";
+    writes_per_round_h = Metrics.histogram reg "telemetry.writes_per_round";
+    enabled_per_round_h = Metrics.histogram reg "telemetry.enabled_per_round";
+    register_bits_h = Metrics.histogram reg "telemetry.register_bits";
+    phi_g = Metrics.gauge reg "telemetry.phi";
+    max_bits_g = Metrics.gauge reg "telemetry.max_bits";
+    rounds_g = Metrics.gauge reg "telemetry.rounds";
+  }
+
+let wants_phi t = t.record_phi
+
+let on_write t ~bits =
+  t.writes_total <- t.writes_total + 1;
+  Metrics.incr t.writes_c;
+  Metrics.observe t.register_bits_h bits
+
+let on_round t ~round ~enabled ~max_bits ~total_bits ~phi =
+  let writes = t.writes_total - t.writes_at_last_round in
+  t.writes_at_last_round <- t.writes_total;
+  let s = { round; enabled; writes; writes_total = t.writes_total; max_bits; total_bits; phi } in
+  t.rev_samples <- s :: t.rev_samples;
+  Metrics.observe t.writes_per_round_h writes;
+  Metrics.observe t.enabled_per_round_h enabled;
+  Metrics.set t.max_bits_g max_bits;
+  Metrics.set t.rounds_g round;
+  match phi with Some v -> Metrics.set t.phi_g v | None -> ()
+
+let samples t = List.rev t.rev_samples
+let last t = match t.rev_samples with [] -> None | s :: _ -> Some s
+
+let phi_series t =
+  List.filter_map (fun s -> Option.map (fun v -> (s.round, v)) s.phi) (samples t)
+
+let registry t = t.reg
+
+let sample_json s =
+  Metrics.Json.Obj
+    [
+      ("round", Metrics.Json.Int s.round);
+      ("enabled", Metrics.Json.Int s.enabled);
+      ("writes", Metrics.Json.Int s.writes);
+      ("writes_total", Metrics.Json.Int s.writes_total);
+      ("max_bits", Metrics.Json.Int s.max_bits);
+      ("total_bits", Metrics.Json.Int s.total_bits);
+      ("phi", match s.phi with Some v -> Metrics.Json.Int v | None -> Metrics.Json.Null);
+    ]
+
+let to_json ?(meta = []) t =
+  let ss = samples t in
+  let max_bits = List.fold_left (fun acc s -> max acc s.max_bits) 0 ss in
+  let phis = phi_series t in
+  let opt_int = function Some v -> Metrics.Json.Int v | None -> Metrics.Json.Null in
+  let summary =
+    Metrics.Json.Obj
+      [
+        ("rounds", Metrics.Json.Int (match last t with Some s -> s.round | None -> 0));
+        ("writes_total", Metrics.Json.Int t.writes_total);
+        ("max_bits", Metrics.Json.Int max_bits);
+        ( "phi_first",
+          opt_int (match phis with (_, v) :: _ -> Some v | [] -> None) );
+        ( "phi_final",
+          opt_int
+            (match List.rev phis with (_, v) :: _ -> Some v | [] -> None) );
+      ]
+  in
+  Metrics.Json.Obj
+    [
+      ("meta", Metrics.Json.Obj meta);
+      ("rounds", Metrics.Json.List (List.map sample_json ss));
+      ("summary", summary);
+      ("metrics", Metrics.to_json t.reg);
+    ]
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "round,enabled,writes,writes_total,max_bits,total_bits,phi\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%s\n" s.round s.enabled s.writes s.writes_total
+           s.max_bits s.total_bits
+           (match s.phi with Some v -> string_of_int v | None -> "")))
+    (samples t);
+  Buffer.contents buf
+
+let write_json ?meta path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Metrics.Json.to_channel oc (to_json ?meta t))
+
+let write_csv path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))
+
+let pp ppf t =
+  let ss = samples t in
+  let max_bits = List.fold_left (fun acc s -> max acc s.max_bits) 0 ss in
+  let phis = phi_series t in
+  Format.fprintf ppf "rounds=%d writes=%d max_bits=%d"
+    (match last t with Some s -> s.round | None -> 0)
+    t.writes_total max_bits;
+  match (phis, List.rev phis) with
+  | (r0, v0) :: _, (r1, v1) :: _ ->
+      Format.fprintf ppf " phi: %d (round %d) -> %d (round %d)" v0 r0 v1 r1
+  | _ -> Format.fprintf ppf " phi: (undefined)"

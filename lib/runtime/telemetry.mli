@@ -1,0 +1,70 @@
+(** Convergence telemetry: a per-round probe for {!Engine.Make}[.run].
+
+    Passed via the engine's [?telemetry] parameter, a sink records one
+    {!sample} at every round boundary (round 0 = the initial
+    configuration): how many nodes are enabled, how many register writes
+    the round performed, the max/total register bits of the current
+    configuration, and — when the protocol defines one — the live value
+    of its potential [Φ] ({!Protocol.S.potential}). This is the
+    trajectory the paper's quantitative claims are judged on (poly(n)
+    rounds, PLS-bounded registers, a potential that decreases to 0), and
+    the machine-readable artifact every perf/robustness PR reports
+    through.
+
+    The sink also aggregates into a {!Metrics.t} registry
+    ([telemetry.writes] counter, [telemetry.writes_per_round] /
+    [telemetry.enabled_per_round] / [telemetry.register_bits] histograms,
+    [telemetry.phi] / [telemetry.max_bits] / [telemetry.rounds] gauges),
+    so histogram summaries ride along with the raw series. *)
+
+type sample = {
+  round : int;
+  enabled : int;  (** nodes enabled at this round boundary *)
+  writes : int;  (** register writes during the preceding round *)
+  writes_total : int;  (** cumulative register writes *)
+  max_bits : int;  (** max register size over the current configuration *)
+  total_bits : int;  (** summed register sizes of the configuration *)
+  phi : int option;  (** protocol potential, when defined *)
+}
+
+type t
+
+(** [create ()] — a fresh sink. [~record_phi:false] skips the (possibly
+    expensive) per-round potential computation; [~registry] shares an
+    existing metrics registry instead of creating one. *)
+val create : ?record_phi:bool -> ?registry:Metrics.t -> unit -> t
+
+(** Whether the engine should compute [P.potential] for this sink. *)
+val wants_phi : t -> bool
+
+(** Engine-side hooks. [on_write] is called once per register write with
+    the written register's size; [on_round] closes a round. *)
+val on_write : t -> bits:int -> unit
+
+val on_round :
+  t -> round:int -> enabled:int -> max_bits:int -> total_bits:int -> phi:int option -> unit
+
+(** Samples in chronological order. *)
+val samples : t -> sample list
+
+val last : t -> sample option
+
+(** The rounds where [Φ] was defined, as [(round, phi)] pairs. *)
+val phi_series : t -> (int * int) list
+
+val registry : t -> Metrics.t
+
+(** [{"meta": {..}, "rounds": [..], "summary": {..}, "metrics": {..}}];
+    [meta] carries caller-supplied run identification (algo, seed,
+    ...). *)
+val to_json : ?meta:(string * Metrics.Json.t) list -> t -> Metrics.Json.t
+
+(** One line per sample: [round,enabled,writes,writes_total,max_bits,
+    total_bits,phi] (phi empty when undefined). *)
+val to_csv : t -> string
+
+val write_json : ?meta:(string * Metrics.Json.t) list -> string -> t -> unit
+val write_csv : string -> t -> unit
+
+(** A short human-readable summary (rounds, writes, bits, phi range). *)
+val pp : Format.formatter -> t -> unit

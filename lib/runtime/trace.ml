@@ -25,11 +25,30 @@ let on_step t pp node states =
 let on_round t round _states = t.round <- round
 let events t = List.of_seq (Queue.to_seq t.events)
 let total t = t.steps
+let capacity t = t.capacity
+let retained t = Queue.length t.events
 
 let pp ppf t =
+  let k = retained t in
+  if t.steps > k then Format.fprintf ppf "[showing last %d of %d events]@." k t.steps;
   Queue.iter
     (fun e -> Format.fprintf ppf "step %6d round %5d node %3d: %s@." e.step e.round e.node e.state)
     t.events
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "step,round,node,state\n";
+  Queue.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%s\n" e.step e.round e.node (csv_escape e.state)))
+    t.events;
+  Buffer.contents buf
 
 let activity t =
   let tbl = Hashtbl.create 16 in

@@ -20,14 +20,28 @@ val on_step : t -> (Format.formatter -> 's -> unit) -> int -> 's array -> unit
 
 val on_round : t -> int -> 's array -> unit
 
-(** Events in chronological order. *)
+(** Events in chronological order — only the retained window (the last
+    {!retained} of {!total} events); older events have been dropped. *)
 val events : t -> event list
 
-(** Number of events recorded (including dropped ones). *)
+(** Total number of events ever recorded, {e including} events since
+    dropped from the window. [total t - retained t] is the drop count. *)
 val total : t -> int
 
-(** [pp] renders the retained window, one event per line. *)
+(** The ring-buffer capacity the trace was created with. *)
+val capacity : t -> int
+
+(** Number of events currently held (at most {!capacity}). *)
+val retained : t -> int
+
+(** [pp] renders the retained window, one event per line, preceded by a
+    ["[showing last k of N events]"] header whenever events have been
+    dropped. *)
 val pp : Format.formatter -> t -> unit
 
-(** [activity t] — per-node write counts over the retained window. *)
+(** [activity t] — per-node write counts over the retained window only. *)
 val activity : t -> (int * int) list
+
+(** The retained window as CSV ([step,round,node,state] header; state
+    strings are quoted when they contain separators). *)
+val to_csv : t -> string

@@ -76,6 +76,8 @@ module AggToy = struct
     Array.for_all
       (fun s -> match s with Some { Aggregate.value; _ } -> value = expect | None -> false)
       sts
+
+  let potential _ _ = None
 end
 
 module EAgg = Engine.Make (AggToy)
@@ -103,6 +105,7 @@ module StToyKeep = struct
   let random_state rng g _ = St_layer.random rng ~n:(Graph.n g)
   let step view = St_layer.step view ~get:Fun.id ~keep_shape:true
   let is_legal = St_layer.is_legal
+  let potential _ _ = None
 end
 
 module ESt = Engine.Make (StToyKeep)

@@ -32,6 +32,14 @@ module Dist0 = struct
   let is_legal g states =
     let d = Traversal.bfs_distances g ~src:0 in
     Array.for_all (fun v -> states.(v) = min d.(v) (Graph.n g)) (Array.init (Graph.n g) Fun.id)
+
+  (* Distance defect — exercised by the telemetry tests. *)
+  let potential g states =
+    let d = Traversal.bfs_distances g ~src:0 in
+    let n = Graph.n g in
+    let total = ref 0 in
+    Array.iteri (fun v s -> total := !total + abs (min s n - min d.(v) n)) states;
+    Some !total
 end
 
 module EDist = Engine.Make (Dist0)
@@ -66,6 +74,8 @@ module Coloring = struct
     Array.for_all
       (fun (e : Graph.Edge.t) -> states.(e.u) <> states.(e.v))
       (Graph.edges g)
+
+  let potential _ _ = None
 end
 
 module EColor = Engine.Make (Coloring)
@@ -84,6 +94,7 @@ module Restless = struct
   let random_state _ _ _ = 0
   let step v = Some (1 - v.View.self)
   let is_legal _ _ = true
+  let potential _ _ = None
 end
 
 module ERestless = Engine.Make (Restless)

@@ -1,0 +1,212 @@
+(* Tests for the telemetry layer: Metrics histogram bucketing edge cases,
+   JSON writer/parser round-trips, Telemetry round accounting, and the
+   per-round phi trajectory of a synchronous MST run (non-increasing once
+   the configuration is legal, ending at 0). *)
+
+open Repro_graph
+open Repro_runtime
+open Repro_core
+module Json = Metrics.Json
+
+let seed i = Random.State.make [| 0x7E1E; i |]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: histogram bucketing *)
+
+let test_bucket_index () =
+  Alcotest.(check int) "0 -> bucket 0" 0 (Metrics.bucket_index 0);
+  Alcotest.(check int) "negative -> bucket 0" 0 (Metrics.bucket_index (-5));
+  Alcotest.(check int) "min_int -> bucket 0" 0 (Metrics.bucket_index min_int);
+  Alcotest.(check int) "1 -> bucket 1" 1 (Metrics.bucket_index 1);
+  Alcotest.(check int) "2 -> bucket 2" 2 (Metrics.bucket_index 2);
+  Alcotest.(check int) "3 -> bucket 2" 2 (Metrics.bucket_index 3);
+  Alcotest.(check int) "4 -> bucket 3" 3 (Metrics.bucket_index 4);
+  Alcotest.(check int) "max_int -> bucket 62" 62 (Metrics.bucket_index max_int);
+  Alcotest.(check int) "lower of bucket 0" 0 (Metrics.bucket_lower 0);
+  Alcotest.(check int) "lower of bucket 1" 1 (Metrics.bucket_lower 1);
+  Alcotest.(check int) "lower of bucket 62" (1 lsl 61) (Metrics.bucket_lower 62);
+  (* Every positive value lands in the bucket [2^(i-1), 2^i - 1]. *)
+  List.iter
+    (fun v ->
+      let lower = Metrics.bucket_lower (Metrics.bucket_index v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d >= its bucket lower bound" v)
+        true (v >= lower);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d/2 < its bucket lower bound" v)
+        true (v lsr 1 < lower))
+    [ 1; 2; 3; 4; 7; 8; 1000; 65535; 65536; max_int ]
+
+let test_histogram_observe () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "h" in
+  Alcotest.(check (option int)) "empty min" None (Metrics.hist_min h);
+  Alcotest.(check (option int)) "empty max" None (Metrics.hist_max h);
+  List.iter (Metrics.observe h) [ 0; 1; max_int ];
+  Alcotest.(check int) "count" 3 (Metrics.hist_count h);
+  Alcotest.(check (option int)) "min" (Some 0) (Metrics.hist_min h);
+  Alcotest.(check (option int)) "max" (Some max_int) (Metrics.hist_max h);
+  Alcotest.(check (list (pair int int)))
+    "buckets: one value in each of 0, 1, 2^61"
+    [ (0, 1); (1, 1); (1 lsl 61, 1) ]
+    (Metrics.buckets h)
+
+let test_registry () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "runs" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check int) "idempotent registration" 5
+    (Metrics.counter_value (Metrics.counter reg "runs"));
+  let g = Metrics.gauge reg "phi" in
+  Alcotest.(check (option int)) "gauge unset" None (Metrics.gauge_value g);
+  Metrics.set g 42;
+  Alcotest.(check (option int)) "gauge set" (Some 42) (Metrics.gauge_value g);
+  Alcotest.check_raises "kind collision" (Invalid_argument
+    "Metrics: \"runs\" already registered as a different kind (gauge)") (fun () ->
+      ignore (Metrics.gauge reg "runs"));
+  match Json.member "counters" (Metrics.to_json reg) with
+  | Some (Json.Obj fields) ->
+      Alcotest.(check bool) "counter in json" true
+        (List.assoc_opt "runs" fields = Some (Json.Int 5))
+  | _ -> Alcotest.fail "no counters object"
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("ints", Json.List [ Json.Int 0; Json.Int (-17); Json.Int max_int ]);
+        ("float", Json.Float 0.5);
+        ("escaped", Json.Str "a \"quote\", a \\ backslash,\na newline\tand \001 control");
+        ("empty_obj", Json.Obj []);
+        ("empty_list", Json.List []);
+        ("nested", Json.Obj [ ("k", Json.List [ Json.Obj [ ("x", Json.Int 1) ] ]) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string j) with
+  | Some j' -> Alcotest.(check bool) "round-trip equal" true (j = j')
+  | None -> Alcotest.fail "round-trip parse failed"
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" s)
+        true
+        (Json.of_string s = None))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry accounting on a real run *)
+
+module ME = Mst_builder.Engine
+
+let mst_run () =
+  let rng = seed 1 in
+  let g = Generators.random_connected rng ~n:12 ~m:24 in
+  let telemetry = Telemetry.create () in
+  let r =
+    ME.run ~track_legal:true g Scheduler.Synchronous rng ~init:(ME.initial g) ~telemetry
+  in
+  (g, r, telemetry)
+
+let test_telemetry_accounting () =
+  let _g, r, tel = mst_run () in
+  Alcotest.(check bool) "silent" true r.ME.silent;
+  let samples = Telemetry.samples tel in
+  Alcotest.(check bool) "one sample per round boundary" true
+    (List.length samples = r.ME.rounds + 1);
+  let last = Option.get (Telemetry.last tel) in
+  Alcotest.(check int) "writes_total = engine steps" r.ME.steps last.Telemetry.writes_total;
+  Alcotest.(check int) "no node enabled at the end" 0 last.Telemetry.enabled;
+  let sum_writes =
+    List.fold_left (fun acc s -> acc + s.Telemetry.writes) 0 samples
+  in
+  Alcotest.(check int) "per-round writes sum to the total" r.ME.steps sum_writes;
+  Alcotest.(check bool) "round-boundary max_bits <= engine max_bits" true
+    (List.for_all (fun s -> s.Telemetry.max_bits <= r.ME.max_bits) samples);
+  (* CSV: header + one line per sample. *)
+  let lines = String.split_on_char '\n' (String.trim (Telemetry.to_csv tel)) in
+  Alcotest.(check int) "csv line count" (List.length samples + 1) (List.length lines)
+
+let test_telemetry_json_roundtrip () =
+  let _g, _r, tel = mst_run () in
+  let j = Telemetry.to_json ~meta:[ ("algo", Json.Str "mst") ] tel in
+  match Json.of_string (Json.to_string j) with
+  | None -> Alcotest.fail "telemetry json does not parse"
+  | Some j' ->
+      Alcotest.(check bool) "round-trip equal" true (j = j');
+      (match Json.member "summary" j' with
+      | Some s ->
+          Alcotest.(check bool) "phi_final = 0" true
+            (Json.member "phi_final" s = Some (Json.Int 0))
+      | None -> Alcotest.fail "no summary");
+      (match Json.member "rounds" j' with
+      | Some (Json.List l) ->
+          Alcotest.(check bool) "per-round series present" true (List.length l > 1)
+      | _ -> Alcotest.fail "no rounds series")
+
+let test_phi_non_increasing_after_legal () =
+  let _g, r, tel = mst_run () in
+  let first_legal =
+    match r.ME.first_legal_round with
+    | Some x -> x
+    | None -> Alcotest.fail "run never became legal"
+  in
+  let phis = Telemetry.phi_series tel in
+  Alcotest.(check bool) "phi defined on some rounds" true (phis <> []);
+  let _, final = List.nth phis (List.length phis - 1) in
+  Alcotest.(check int) "phi ends at 0" 0 final;
+  (* After the last illegitimate round (once the configuration is legal),
+     phi never increases again. *)
+  let rec check = function
+    | (r1, p1) :: ((r2, p2) :: _ as rest) ->
+        if r1 >= first_legal && r2 >= first_legal then
+          Alcotest.(check bool)
+            (Printf.sprintf "phi non-increasing %d->%d (rounds %d->%d)" p1 p2 r1 r2)
+            true (p2 <= p1);
+        check rest
+    | _ -> ()
+  in
+  check phis
+
+let test_record_phi_opt_out () =
+  let rng = seed 2 in
+  let g = Generators.random_connected rng ~n:10 ~m:20 in
+  let telemetry = Telemetry.create ~record_phi:false () in
+  let r = ME.run g Scheduler.Synchronous rng ~init:(ME.initial g) ~telemetry in
+  Alcotest.(check bool) "silent" true r.ME.silent;
+  Alcotest.(check (list (pair int int))) "no phi recorded" [] (Telemetry.phi_series telemetry)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "repro_telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket index edge cases" `Quick test_bucket_index;
+          Alcotest.test_case "histogram observe 0/1/max_int" `Quick test_histogram_observe;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "round accounting + csv" `Quick test_telemetry_accounting;
+          Alcotest.test_case "json round-trip, phi_final = 0" `Quick
+            test_telemetry_json_roundtrip;
+          Alcotest.test_case "phi non-increasing after legality" `Quick
+            test_phi_non_increasing_after_legal;
+          Alcotest.test_case "record_phi opt-out" `Quick test_record_phi_opt_out;
+        ] );
+    ]
