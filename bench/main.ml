@@ -17,16 +17,18 @@ open Repro_core
 open Repro_baselines
 module E = Graph.Edge
 
-(* [--seed N] replaces the default RNG seed base; remaining arguments
-   select experiments. *)
-let seed_base, exp_args =
-  let rec go seed acc = function
-    | [] -> (seed, List.rev acc)
+(* [--seed N] replaces the default RNG seed base; [--out FILE] redirects
+   the BENCH_repro.json artifact (the smoke gate writes to a declared
+   dune target); remaining arguments select experiments. *)
+let seed_base, out_path, exp_args =
+  let rec go seed out acc = function
+    | [] -> (seed, out, List.rev acc)
     | "--seed" :: v :: rest ->
-        go (match int_of_string_opt v with Some s -> s | None -> seed) acc rest
-    | a :: rest -> go seed (a :: acc) rest
+        go (match int_of_string_opt v with Some s -> s | None -> seed) out acc rest
+    | "--out" :: v :: rest -> go seed v acc rest
+    | a :: rest -> go seed out (a :: acc) rest
   in
-  go 0xE57 [] (Array.to_list Sys.argv |> List.tl)
+  go 0xE57 "BENCH_repro.json" [] (Array.to_list Sys.argv |> List.tl)
 
 let rng_of tag = Random.State.make [| seed_base; tag |]
 let header id title = Format.printf "@.==== %s: %s ====@." id title
@@ -62,7 +64,7 @@ let timed f =
   (r, int_of_float ((Sys.time () -. t0) *. 1e9))
 
 let write_bench_repro () =
-  let path = "BENCH_repro.json" in
+  let path = out_path in
   let json =
     Metrics.Json.(
       Obj

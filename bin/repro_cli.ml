@@ -248,6 +248,64 @@ let sweep_cmd =
     Term.(
       ret (const sweep $ algo_arg $ graph_arg $ ns_arg $ trials_arg $ seed_arg $ sched_arg))
 
+let bench_diff_cmd =
+  let diff old_path new_path steps_tol wall_tol =
+    let pct p = float_of_int p /. 100.0 in
+    match (Repro_bench.Diff.load old_path, Repro_bench.Diff.load new_path) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok old_records, Ok new_records ->
+        let report =
+          Repro_bench.Diff.diff ~steps_tol:(pct steps_tol) ~wall_tol:(pct wall_tol)
+            ~old_records ~new_records ()
+        in
+        Format.printf "%a" Repro_bench.Diff.pp_report report;
+        if report.Repro_bench.Diff.comparisons = [] then
+          `Error (false, "no overlapping records between the two artifacts")
+        else if report.Repro_bench.Diff.failures > 0 then begin
+          Format.printf "bench-diff: FAIL@.";
+          exit 1
+        end
+        else begin
+          Format.printf "bench-diff: OK@.";
+          `Ok ()
+        end
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline BENCH_repro.json artifact.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate BENCH_repro.json artifact.")
+  in
+  let steps_tol_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "steps-tol" ] ~docv:"PCT"
+          ~doc:
+            "Allowed regression in steps and rounds, percent (they are \
+             deterministic for a pinned seed, so any growth is a semantic change).")
+  in
+  let wall_tol_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "wall-tol" ] ~docv:"PCT"
+          ~doc:
+            "Allowed regression in wall_ns, percent. CPU time is noisy across \
+             machines; the smoke gate passes 400 to only catch catastrophic \
+             slowdowns deterministically.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_repro.json artifacts; exit 1 on steps/rounds/wall_ns \
+          regression beyond tolerance.")
+    Term.(ret (const diff $ old_arg $ new_arg $ steps_tol_arg $ wall_tol_arg))
+
 let list_cmd =
   let list () =
     Format.printf "algorithms: %s@." (String.concat ", " algos);
@@ -264,4 +322,4 @@ let () =
         "Silent self-stabilizing constrained spanning tree constructions (Blin & \
          Fraigniaud, ICDCS 2015)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; bench_diff_cmd; list_cmd ]))

@@ -1,0 +1,91 @@
+(* 32 bits per word: [v lsr 5] / [v land 31] keep every shift in range
+   of OCaml's 63-bit native int on 64-bit platforms. *)
+
+type t = { words : int array; capacity : int; mutable card : int }
+
+let words_for n = (n + 31) lsr 5
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make (max 1 (words_for n)) 0; capacity = n; card = 0 }
+
+let capacity t = t.capacity
+let cardinal t = t.card
+let is_empty t = t.card = 0
+
+let mem t v = t.words.(v lsr 5) land (1 lsl (v land 31)) <> 0
+
+let add t v =
+  let w = v lsr 5 and b = 1 lsl (v land 31) in
+  let old = t.words.(w) in
+  if old land b = 0 then begin
+    t.words.(w) <- old lor b;
+    t.card <- t.card + 1
+  end
+
+let remove t v =
+  let w = v lsr 5 and b = 1 lsl (v land 31) in
+  let old = t.words.(w) in
+  if old land b <> 0 then begin
+    t.words.(w) <- old land lnot b;
+    t.card <- t.card - 1
+  end
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.card <- 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let iter f t =
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let bits = ref words.(w) in
+    while !bits <> 0 do
+      let b = !bits land - !bits in
+      (* lowest set bit *)
+      let rec log2 i x = if x = 1 then i else log2 (i + 1) (x lsr 1) in
+      f ((w lsl 5) lor log2 0 b);
+      bits := !bits land lnot b
+    done
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+let nth t k =
+  if k < 0 || k >= t.card then invalid_arg "Bitset.nth";
+  let remaining = ref k in
+  let result = ref (-1) in
+  (try
+     iter
+       (fun v ->
+         if !remaining = 0 then begin
+           result := v;
+           raise Exit
+         end
+         else decr remaining)
+       t
+   with Exit -> ());
+  !result
+
+let copy_from ~src ~dst =
+  if src.capacity <> dst.capacity then invalid_arg "Bitset.copy_from";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words);
+  dst.card <- src.card
+
+let inter_inplace t other =
+  if t.capacity <> other.capacity then invalid_arg "Bitset.inter_inplace";
+  let card = ref 0 in
+  for w = 0 to Array.length t.words - 1 do
+    let x = t.words.(w) land other.words.(w) in
+    t.words.(w) <- x;
+    card := !card + popcount x
+  done;
+  t.card <- !card

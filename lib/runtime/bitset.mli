@@ -1,0 +1,54 @@
+(** Fixed-capacity bitsets over node indices [0 .. capacity-1].
+
+    The engine's hot path replaces its per-round [Hashtbl] bookkeeping
+    with these: membership, insertion and removal are O(1) bit
+    operations, a full sweep costs [O(capacity/32 + cardinal)], and the
+    round-accounting intersection ("drop every pending node that is no
+    longer enabled") is a word-wise AND. The cardinal is maintained
+    incrementally so emptiness tests are O(1).
+
+    All operations assume indices in range; out-of-range indices raise
+    [Invalid_argument] via the underlying array bounds check. *)
+
+type t
+
+(** [create n] is an empty set with capacity [n]. *)
+val create : int -> t
+
+val capacity : t -> int
+val mem : t -> int -> bool
+
+(** [add t v] inserts [v]; a no-op if already present. *)
+val add : t -> int -> unit
+
+(** [remove t v] deletes [v]; a no-op if absent. *)
+val remove : t -> int -> unit
+
+(** [clear t] empties the set in [O(capacity/32)]. *)
+val clear : t -> unit
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** [iter f t] applies [f] to the members in increasing order. [f] must
+    not mutate [t]. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f init t] folds over the members in increasing order. *)
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** Members in increasing order. *)
+val to_list : t -> int list
+
+(** [nth t k] is the [k]-th smallest member (0-based).
+    @raise Invalid_argument if [k < 0] or [k >= cardinal t]. *)
+val nth : t -> int -> int
+
+(** [copy_from ~src ~dst] overwrites [dst] with [src]'s contents.
+    @raise Invalid_argument on capacity mismatch. *)
+val copy_from : src:t -> dst:t -> unit
+
+(** [inter_inplace t other] removes from [t] every member absent from
+    [other] — a word-wise AND.
+    @raise Invalid_argument on capacity mismatch. *)
+val inter_inplace : t -> t -> unit

@@ -1,0 +1,53 @@
+(* Intrusive doubly-linked list: [next] and [prev] are indexed by node,
+   with slot [n] acting as the sentinel. A node is linked iff it is a
+   member; membership itself is answered by the bitset mirror, which is
+   kept in lockstep so ordered enumeration stays cheap. *)
+
+type t = {
+  next : int array;
+  prev : int array;
+  sentinel : int;
+  members : Bitset.t;
+}
+
+let create n =
+  let s = n in
+  let next = Array.make (n + 1) s and prev = Array.make (n + 1) s in
+  { next; prev; sentinel = s; members = Bitset.create n }
+
+let mem t v = Bitset.mem t.members v
+let cardinal t = Bitset.cardinal t.members
+let is_empty t = Bitset.is_empty t.members
+
+let add t v =
+  if not (Bitset.mem t.members v) then begin
+    Bitset.add t.members v;
+    (* Splice in before the sentinel (list tail). *)
+    let tail = t.prev.(t.sentinel) in
+    t.next.(tail) <- v;
+    t.prev.(v) <- tail;
+    t.next.(v) <- t.sentinel;
+    t.prev.(t.sentinel) <- v
+  end
+
+let remove t v =
+  if Bitset.mem t.members v then begin
+    Bitset.remove t.members v;
+    let p = t.prev.(v) and nx = t.next.(v) in
+    t.next.(p) <- nx;
+    t.prev.(nx) <- p
+  end
+
+let fold f init t =
+  let acc = ref init in
+  let v = ref t.next.(t.sentinel) in
+  while !v <> t.sentinel do
+    acc := f !acc !v;
+    v := t.next.(!v)
+  done;
+  !acc
+
+let sorted t = Bitset.to_list t.members
+let nth_sorted t k = Bitset.nth t.members k
+let bits t = t.members
+let snapshot t dst = Bitset.copy_from ~src:t.members ~dst

@@ -1,0 +1,48 @@
+(** The engine's enabled-node set.
+
+    An intrusive doubly-linked list over two preallocated index arrays
+    gives O(1) insertion, removal, membership and cardinality, and
+    O(cardinal) iteration without touching the other [n - cardinal]
+    nodes — this is what makes the engine's work per register write
+    O(Δ) instead of O(n). A {!Bitset.t} mirror of the membership is
+    maintained in the same O(1) updates; it serves the daemons whose
+    published semantics enumerate candidates in increasing node order
+    (the random pick's index, round-robin's cursor scan, and the
+    distributed daemon's per-candidate coin flips must all see the same
+    ordering the naive engine used), and lets round accounting snapshot
+    or intersect the membership word-wise. *)
+
+type t
+
+(** [create n] is an empty set over nodes [0 .. n-1]. *)
+val create : int -> t
+
+val mem : t -> int -> bool
+
+(** [add t v] — O(1); a no-op if [v] is present. *)
+val add : t -> int -> unit
+
+(** [remove t v] — O(1); a no-op if [v] is absent. *)
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** [fold f init t] folds over members in {e unspecified} order
+    (insertion order of the underlying list) in O(cardinal). Use
+    {!sorted} when the enumeration order is observable. *)
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** Members in increasing node order, O(n/32 + cardinal). *)
+val sorted : t -> int list
+
+(** [nth_sorted t k] is the [k]-th smallest member. *)
+val nth_sorted : t -> int -> int
+
+(** The bitset mirror of the membership. Callers must treat it as
+    read-only; it is exposed so round accounting can intersect against
+    it without copying. *)
+val bits : t -> Bitset.t
+
+(** [snapshot t dst] overwrites bitset [dst] with the membership. *)
+val snapshot : t -> Bitset.t -> unit

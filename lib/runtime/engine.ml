@@ -44,13 +44,30 @@ module Make (P : Protocol.S) = struct
     !acc
 
   let enabled g states = enabled_net (net_of g) states
-  let silent g states = enabled g states = []
+
+  (* Short-circuits on the first enabled node instead of materializing
+     the full list — [silent] is a pure predicate and gets probed a lot
+     by tests and examples. *)
+  let silent g states =
+    let net = net_of g in
+    let n = Graph.n net.g in
+    let rec go v = v >= n || (P.step (view_net net states v) = None && go (v + 1)) in
+    go 0
 
   let max_bits_of states =
     Array.fold_left (fun acc s -> max acc (P.size_bits (Array.length states) s)) 0 states
 
-  let run ?(max_steps = 10_000_000) ?(max_rounds = 200_000) ?(track_legal = false)
-      ?(stop_when_legal = false) ?telemetry ?on_round ?on_step g sched rng ~init =
+  (* ------------------------------------------------------------------ *)
+  (* The naive executor: the semantics oracle. Every guard probe builds
+     a fresh view, every write re-evaluates [P.step] once to recompute
+     activation flags and once more to obtain the written register, and
+     the per-round [pending] set is a Hashtbl. Kept verbatim so the
+     incremental [run] below can be property-tested against it
+     (test_engine_equiv). *)
+
+  let run_reference ?(max_steps = 10_000_000) ?(max_rounds = 200_000)
+      ?(track_legal = false) ?(stop_when_legal = false) ?telemetry ?on_round ?on_step g
+      sched rng ~init =
     let net = net_of g in
     let states = Array.copy init in
     let n = Graph.n g in
@@ -211,6 +228,236 @@ module Make (P : Protocol.S) = struct
       prune_pending ()
     done;
     let silent = !enabled_count = 0 in
+    {
+      states;
+      steps = !steps;
+      rounds = !rounds;
+      silent;
+      legal = P.is_legal g states;
+      max_bits = !max_bits;
+      first_legal_round = !first_legal;
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* The incremental executor. Trajectory-identical to [run_reference]
+     (the equivalence suite pins this) but allocation-light:
+
+     - Move cache: [moves.(v)] memoizes the [state option] that [P.step]
+       returned the last time [v]'s view changed, so a write applies the
+       cached register instead of re-running the guard, and activation
+       flags come for free ([moves.(v) <> None]).
+     - Scratch views: one [View.t] per node for the whole run; [refresh]
+       re-points [self] and the [nbrs] slots in place, guarded by a
+       per-node version counter bumped by [touch], so guard probes stop
+       allocating.
+     - Enabled set: an intrusive doubly-linked list + bitset mirror
+       ({!Enabled_set}) — O(1) insert/remove, O(Δ) guard probes per
+       write, and daemons enumerate only the enabled nodes instead of
+       rescanning all n.
+     - Round accounting: [pending] is a bitset; pruning it is a
+       word-wise AND against the enabled set.
+
+     Under the synchronous daemon the guard re-probes of a whole batch
+     of writes are coalesced: marking is O(Δ) per write, and each node
+     in the union of the writers' closed neighborhoods is re-evaluated
+     once per round rather than once per writing neighbor. The cache is
+     only read at round boundaries there, so deferral is unobservable.
+     The sequential daemons flush after every write because the next
+     guard read happens immediately. *)
+
+  let run ?(max_steps = 10_000_000) ?(max_rounds = 200_000) ?(track_legal = false)
+      ?(stop_when_legal = false) ?telemetry ?on_round ?on_step g sched rng ~init =
+    let net = net_of g in
+    let states = Array.copy init in
+    let n = Graph.n g in
+    let steps = ref 0 in
+    let rounds = ref 0 in
+    let max_bits = ref (max_bits_of states) in
+    let first_legal = ref None in
+    let stop = ref false in
+    (* Reusable scratch views: [data_version.(v)] is bumped whenever a
+       register in [v]'s closed neighborhood changes; [view_version.(v)]
+       records the version [scratch.(v)] was last refreshed at. *)
+    let scratch = Array.init n (fun v -> view_net net states v) in
+    let data_version = Array.make n 0 in
+    let view_version = Array.make n 0 in
+    let refresh v =
+      if view_version.(v) <> data_version.(v) then begin
+        let vw = scratch.(v) in
+        vw.View.self <- states.(v);
+        let ids = net.ids.(v) in
+        for i = 0 to Array.length ids - 1 do
+          vw.View.nbrs.(i) <- states.(ids.(i))
+        done;
+        view_version.(v) <- data_version.(v)
+      end
+    in
+    (* The memoized pending move of every node, and the set of nodes
+       whose cached move is [Some _]. Invariant outside [flush]:
+       [moves.(v) = P.step (view states v)] for every v. *)
+    let moves = Array.make n None in
+    let enabled = Enabled_set.create n in
+    let recompute v =
+      refresh v;
+      let mv = P.step scratch.(v) in
+      moves.(v) <- mv;
+      match mv with
+      | Some _ -> Enabled_set.add enabled v
+      | None -> Enabled_set.remove enabled v
+    in
+    for v = 0 to n - 1 do
+      recompute v
+    done;
+    let dirty = Bitset.create n in
+    let touch v =
+      data_version.(v) <- data_version.(v) + 1;
+      Bitset.add dirty v;
+      Array.iter
+        (fun u ->
+          data_version.(u) <- data_version.(u) + 1;
+          Bitset.add dirty u)
+        net.ids.(v)
+    in
+    let flush () =
+      if not (Bitset.is_empty dirty) then begin
+        Bitset.iter recompute dirty;
+        Bitset.clear dirty
+      end
+    in
+    (* Adversary bookkeeping. *)
+    let last_step_time = Array.make n (-1) in
+    let rr_cursor = ref 0 in
+    let pending = Bitset.create n in
+    let apply ~defer v s =
+      let old = states.(v) in
+      states.(v) <- s;
+      incr steps;
+      last_step_time.(v) <- !steps;
+      let bits = P.size_bits n s in
+      max_bits := max !max_bits bits;
+      (match telemetry with Some t -> Telemetry.on_write t ~bits | None -> ());
+      (* A physically unchanged register leaves every view — including
+         the writer's own — bit-identical, so the caches stay valid. *)
+      if old != s then touch v;
+      if not defer then flush ();
+      Bitset.remove pending v;
+      match on_step with Some f -> f v states | None -> ()
+    in
+    let round_boundary () =
+      (match telemetry with
+      | Some t ->
+          let mx = ref 0 and total = ref 0 in
+          Array.iter
+            (fun s ->
+              let b = P.size_bits n s in
+              if b > !mx then mx := b;
+              total := !total + b)
+            states;
+          let phi = if Telemetry.wants_phi t then P.potential g states else None in
+          Telemetry.on_round t ~round:!rounds
+            ~enabled:(Enabled_set.cardinal enabled)
+            ~max_bits:!mx ~total_bits:!total ~phi
+      | None -> ());
+      (match on_round with Some f -> f !rounds states | None -> ());
+      if (track_legal || stop_when_legal) && !first_legal = None then
+        if P.is_legal g states then begin
+          first_legal := Some !rounds;
+          if stop_when_legal then stop := true
+        end
+    in
+    round_boundary ();
+    (* Daemon picks. The published semantics enumerate candidates in
+       increasing node order ([run_reference] builds its list that way),
+       so the order-sensitive picks — random's index draw, round-robin's
+       cursor scan, the distributed coin flips — go through the sorted
+       bitset enumeration; the extremal picks fold the linked list in
+       O(cardinal) since their result is order-independent. *)
+    let pick_central strategy =
+      match strategy with
+      | Scheduler.Random_daemon ->
+          Enabled_set.nth_sorted enabled
+            (Random.State.int rng (Enabled_set.cardinal enabled))
+      | Scheduler.Max_id -> Enabled_set.fold (fun best v -> max best v) (-1) enabled
+      | Scheduler.Min_id -> Enabled_set.fold (fun best v -> min best v) max_int enabled
+      | Scheduler.Round_robin ->
+          let cursor = !rr_cursor in
+          let best_ge, best_all =
+            Enabled_set.fold
+              (fun (ge, all) v ->
+                ((if v >= cursor && v < ge then v else ge), min all v))
+              (max_int, max_int) enabled
+          in
+          let v = if best_ge < max_int then best_ge else best_all in
+          rr_cursor := v + 1;
+          v
+      | Scheduler.Lifo_adversary ->
+          Enabled_set.fold
+            (fun best v ->
+              if
+                best < 0
+                || last_step_time.(v) > last_step_time.(best)
+                || (last_step_time.(v) = last_step_time.(best) && v > best)
+              then v
+              else best)
+            (-1) enabled
+    in
+    let reset_pending () = Enabled_set.snapshot enabled pending in
+    reset_pending ();
+    let prune_pending () =
+      (* Drop every pending node no longer activatable; nodes that
+         stepped were removed by [apply]. *)
+      Bitset.inter_inplace pending (Enabled_set.bits enabled);
+      if Bitset.is_empty pending then begin
+        incr rounds;
+        round_boundary ();
+        if not (Enabled_set.is_empty enabled) then reset_pending ()
+      end
+    in
+    while
+      (not !stop)
+      && (not (Enabled_set.is_empty enabled))
+      && !steps < max_steps && !rounds < max_rounds
+    do
+      (match sched with
+      | Scheduler.Synchronous ->
+          (* The caches were recomputed against the round-top
+             configuration, which is exactly the snapshot the reference
+             engine evaluates moves on — apply them directly and
+             re-probe the dirtied closed neighborhoods once at the end
+             of the batch. *)
+          let movers = Enabled_set.sorted enabled in
+          List.iter
+            (fun v ->
+              match moves.(v) with
+              | Some s -> apply ~defer:true v s
+              | None -> () (* unreachable: cache fresh at round top *))
+            movers;
+          flush ()
+      | Scheduler.Central strategy ->
+          let v = pick_central strategy in
+          apply ~defer:false v (Option.get moves.(v))
+      | Scheduler.Distributed p ->
+          let candidates = Enabled_set.sorted enabled in
+          let chosen =
+            List.filter (fun _ -> Random.State.float rng 1.0 < p) candidates
+          in
+          let chosen =
+            match chosen with
+            | [] -> [ List.nth candidates (Random.State.int rng (List.length candidates)) ]
+            | l -> l
+          in
+          (* Nodes act one after another on the live configuration; each
+             apply flushes, so the next node's cached move is the one
+             [P.step] would compute on the live registers. *)
+          List.iter
+            (fun v ->
+              match moves.(v) with
+              | Some s -> apply ~defer:false v s
+              | None -> ())
+            chosen);
+      prune_pending ()
+    done;
+    let silent = Enabled_set.is_empty enabled in
     {
       states;
       steps = !steps;

@@ -5,7 +5,20 @@
     as defined in Section II-A of the paper: a round is the shortest
     execution prefix in which every node that was enabled at the start of
     the prefix has either taken a step or become non-activatable because
-    of a neighbor's action. *)
+    of a neighbor's action.
+
+    Two executors share that semantics. {!Make.run} is the incremental
+    hot path: it memoizes each node's pending move (so a write applies
+    the cached register instead of re-running the guard), reuses one
+    scratch {!View.t} per node (neighbor-state slots refreshed in place
+    under a per-node version counter), and maintains the enabled set as
+    an intrusive doubly-linked list with a bitset mirror
+    ({!Enabled_set}) so a register write costs O(Δ) guard probes and a
+    daemon pick touches only the enabled nodes. {!Make.run_reference} is
+    the naive executor kept as the semantics oracle — fresh views and a
+    full [P.step] per probe — and the two are property-tested to produce
+    identical trajectories (see [test/test_engine_equiv.ml] and
+    PERFORMANCE.md). *)
 
 module Make (P : Protocol.S) : sig
   type result = {
@@ -33,7 +46,8 @@ module Make (P : Protocol.S) : sig
   (** [enabled g states] is the list of enabled (activatable) nodes. *)
   val enabled : Repro_graph.Graph.t -> P.state array -> int list
 
-  (** [silent g states] — no node is enabled. *)
+  (** [silent g states] — no node is enabled. Short-circuits on the
+      first enabled node. *)
   val silent : Repro_graph.Graph.t -> P.state array -> bool
 
   (** [run ?max_steps ?max_rounds ?track_legal ?stop_when_legal ?telemetry
@@ -52,6 +66,29 @@ module Make (P : Protocol.S) : sig
       [max_steps] = 10_000_000, [max_rounds] = 200_000,
       [track_legal] = false. *)
   val run :
+    ?max_steps:int ->
+    ?max_rounds:int ->
+    ?track_legal:bool ->
+    ?stop_when_legal:bool ->
+    ?telemetry:Telemetry.t ->
+    ?on_round:(int -> P.state array -> unit) ->
+    ?on_step:(int -> P.state array -> unit) ->
+    Repro_graph.Graph.t ->
+    Scheduler.t ->
+    Random.State.t ->
+    init:P.state array ->
+    result
+
+  (** [run_reference] — same signature, same observable behavior, none
+      of the incremental machinery: every guard probe allocates a fresh
+      view and re-runs [P.step], every write re-evaluates the guard of
+      the whole closed neighborhood, and the daemons rescan all n nodes
+      per pick. It exists as the oracle the equivalence property suite
+      compares {!run} against (identical [states], [steps], [rounds],
+      [silent], [legal] on the same seed), and as the fallback to bisect
+      against if an engine bug is ever suspected. Use {!run} everywhere
+      else. *)
+  val run_reference :
     ?max_steps:int ->
     ?max_rounds:int ->
     ?track_legal:bool ->

@@ -4,7 +4,7 @@
     step the adversary merely picks at least one enabled node. We provide
     the daemons used across the experiment suite (E7):
 
-    - {!Synchronous}: every enabled node steps simultaneously (each step
+    - [Synchronous]: every enabled node steps simultaneously (each step
       is exactly one round);
     - [Central Random_daemon]: one uniformly random enabled node;
     - [Central Round_robin]: one enabled node in cyclic id order (a weakly

@@ -4,7 +4,7 @@ type 'state t = {
   degree : int;
   nbr_ids : int array;
   nbr_weights : int array;
-  self : 'state;
+  mutable self : 'state;
   nbrs : 'state array;
 }
 

@@ -11,7 +11,13 @@
     - the register contents of each neighbor.
 
     Protocols must not reach beyond a view; the engine constructs views and
-    never exposes the global configuration to [step]. *)
+    never exposes the global configuration to [step].
+
+    The [self] field is mutable (and the [nbrs] array is refreshed in
+    place) so the engine can keep one scratch view per node alive for a
+    whole run instead of allocating a fresh record and neighbor array on
+    every guard probe; protocols must treat a view as read-only and must
+    not retain it beyond the [step] call that received it. *)
 
 type 'state t = {
   id : int;  (** this node's identity *)
@@ -19,7 +25,7 @@ type 'state t = {
   degree : int;  (** number of incident edges *)
   nbr_ids : int array;  (** neighbor identities, increasing *)
   nbr_weights : int array;  (** weight of the edge to each neighbor *)
-  self : 'state;  (** own register *)
+  mutable self : 'state;  (** own register *)
   nbrs : 'state array;  (** neighbors' registers, aligned with [nbr_ids] *)
 }
 
