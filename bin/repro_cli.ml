@@ -19,6 +19,8 @@ type outcome = {
   steps : int;
   max_bits : int;
   note : string;
+  verdict : string option;
+  failed : bool;
 }
 
 let report o =
@@ -28,6 +30,7 @@ let report o =
   Format.printf "rounds       : %d@." o.rounds;
   Format.printf "steps        : %d@." o.steps;
   Format.printf "max register : %d bits@." o.max_bits;
+  (match o.verdict with Some v -> Format.printf "verdict      : %s@." v | None -> ());
   if o.note <> "" then Format.printf "result       : %s@." o.note
 
 let run_algo algo g sched rng ~adversarial ~faults ~max_rounds ?(meta = []) ?metrics_out
@@ -39,25 +42,41 @@ let run_algo algo g sched rng ~adversarial ~faults ~max_rounds ?(meta = []) ?met
     let observed ~init =
       let telemetry = Option.map (fun _ -> Telemetry.create ()) metrics_out in
       let trace = Option.map (fun _ -> Trace.create ~capacity:1_000_000 ()) trace_out in
+      (* Observe-only watchdog: classify a non-silent exit (livelock vs
+         bare exhaustion) instead of just reporting the hit limit. *)
+      let wd = Watchdog.create () in
+      let on_round round states =
+        (match trace with Some tr -> Trace.on_round tr round states | None -> ());
+        Watchdog.observe_round wd ~round ~hash:(Watchdog.config_hash states) ~phi:None
+      in
       let r =
         E.run ~max_rounds ?telemetry
           ?on_step:(Option.map (fun tr -> Trace.on_step tr P.pp_state) trace)
-          ?on_round:(Option.map (fun tr v s -> Trace.on_round tr v s) trace)
-          g sched rng ~init
+          ~on_round g sched rng ~init
       in
-      (r, telemetry, trace)
+      (r, telemetry, trace, wd)
     in
     let init = if adversarial then E.adversarial rng g else E.initial g in
     let first = observed ~init in
-    let r, telemetry, trace =
-      let r, _, _ = first in
-      if faults > 0 && r.E.silent then begin
-        let corrupted =
-          Fault.corrupt rng ~random_state:P.random_state g r.E.states ~k:faults
-        in
-        Format.printf "(injected %d faults after stabilization)@." faults;
-        observed ~init:corrupted
-      end
+    let faults_skipped = ref false in
+    let r, telemetry, trace, wd =
+      let r, _, _, _ = first in
+      if faults > 0 then
+        if r.E.silent then begin
+          let corrupted =
+            Fault.corrupt rng ~random_state:P.random_state g r.E.states ~k:faults
+          in
+          Format.printf "(injected %d faults after stabilization)@." faults;
+          observed ~init:corrupted
+        end
+        else begin
+          faults_skipped := true;
+          Format.eprintf
+            "warning: --faults %d requested but the first run never stabilized (hit \
+             its limits while non-silent); fault injection skipped@."
+            faults;
+          first
+        end
       else first
     in
     (match (metrics_out, telemetry) with
@@ -81,6 +100,13 @@ let run_algo algo g sched rng ~adversarial ~faults ~max_rounds ?(meta = []) ?met
       steps = r.E.steps;
       max_bits = r.E.max_bits;
       note = note r.E.states;
+      verdict =
+        (if r.E.silent then None
+         else
+           Some
+             (Format.asprintf "%a" Watchdog.pp_verdict
+                (Watchdog.verdict wd ~silent:false)));
+      failed = !faults_skipped;
     }
   in
   match algo with
@@ -129,6 +155,53 @@ let algos =
     "fullinfo-mdst";
   ]
 
+(* One chaos-campaign cell, extracted from the per-protocol episode into
+   plain data so the matrix driver and the JSON writer stay functor-free. *)
+type chaos_cell = {
+  c_base_rounds : int;
+  c_rounds : int;
+  c_steps : int;
+  c_silent : bool;
+  c_legal : bool;
+  c_recovered : bool;
+  c_verdict : string;
+  c_max_bits : int;
+  c_injections : Chaos.injection list;
+}
+
+let chaos_algo algo g sched rng ~plan ~max_rounds ~max_injections ~stall_window
+    ~cycle_repeats =
+  let generic (type s) (module P : Protocol.S with type state = s) ~watch_phi =
+    let module C = Chaos.Make (P) in
+    let e =
+      C.run_episode ~max_rounds ~max_injections ~watch_phi ~stall_window ~cycle_repeats g
+        sched rng plan
+    in
+    {
+      c_base_rounds = e.C.base_rounds;
+      c_rounds = e.C.rounds;
+      c_steps = e.C.steps;
+      c_silent = e.C.silent;
+      c_legal = e.C.legal;
+      c_recovered = e.C.recovered;
+      c_verdict = Watchdog.verdict_name e.C.verdict;
+      c_max_bits = e.C.max_bits;
+      c_injections = e.C.injections;
+    }
+  in
+  (* [watch_phi] only where the potential is cheap (totals over the
+     configuration); the MST potential runs the certification prover. *)
+  match algo with
+  | "bfs" -> generic (module Bfs_builder.P) ~watch_phi:true
+  | "mst" -> generic (module Mst_builder.P) ~watch_phi:false
+  | "mdst" -> generic (module Mdst_builder.P) ~watch_phi:false
+  | "spt" -> generic (module Spt_builder.P) ~watch_phi:true
+  | "adhoc-bfs" -> generic (module Adhoc_bfs.P) ~watch_phi:false
+  | "compact-mst" -> generic (module Compact_mst.P) ~watch_phi:false
+  | "fullinfo-mst" -> generic (module Fullinfo.Mst_instance.P) ~watch_phi:false
+  | "fullinfo-mdst" -> generic (module Fullinfo.Mdst_instance.P) ~watch_phi:false
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
 open Cmdliner
 
 let algo_arg =
@@ -145,7 +218,7 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Rando
 
 let sched_arg =
   let doc =
-    "Scheduler: " ^ String.concat ", " (List.map fst Scheduler.all) ^ "."
+    "Scheduler: " ^ String.concat ", " (List.map fst Scheduler.extended) ^ "."
   in
   Arg.(value & opt string "random" & info [ "sched"; "s" ] ~docv:"SCHED" ~doc)
 
@@ -197,9 +270,12 @@ let run_cmd =
                   ("adversarial", Bool adversarial); ("faults", Int faults);
                 ]
             in
-            report
-              (run_algo algo g scheduler rng ~adversarial ~faults ~max_rounds ~meta
-                 ?metrics_out ?trace_out ());
+            let o =
+              run_algo algo g scheduler rng ~adversarial ~faults ~max_rounds ~meta
+                ?metrics_out ?trace_out ()
+            in
+            report o;
+            if o.failed then exit 1;
             `Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a construction and report statistics.")
@@ -306,11 +382,211 @@ let bench_diff_cmd =
           regression beyond tolerance.")
     Term.(ret (const diff $ old_arg $ new_arg $ steps_tol_arg $ wall_tol_arg))
 
+let chaos_cmd =
+  let injection_json (i : Chaos.injection) =
+    let opt_int = function Some v -> Metrics.Json.Int v | None -> Metrics.Json.Null in
+    Metrics.Json.Obj
+      [
+        ("round", Metrics.Json.Int i.Chaos.round);
+        ("nodes", Metrics.Json.List (List.map (fun v -> Metrics.Json.Int v) i.Chaos.nodes));
+        ("gap", opt_int i.Chaos.gap);
+        ("radius", opt_int i.Chaos.radius);
+        ("touched", Metrics.Json.Int i.Chaos.touched);
+      ]
+  in
+  let cell_json (algo, pname, dname, seed, n, m, c) =
+    Metrics.Json.Obj
+      [
+        ("algo", Metrics.Json.Str algo);
+        ("plan", Metrics.Json.Str pname);
+        ("sched", Metrics.Json.Str dname);
+        ("seed", Metrics.Json.Int seed);
+        ("n", Metrics.Json.Int n);
+        ("m", Metrics.Json.Int m);
+        ("base_rounds", Metrics.Json.Int c.c_base_rounds);
+        ("rounds", Metrics.Json.Int c.c_rounds);
+        ("steps", Metrics.Json.Int c.c_steps);
+        ("silent", Metrics.Json.Bool c.c_silent);
+        ("legal", Metrics.Json.Bool c.c_legal);
+        ("recovered", Metrics.Json.Bool c.c_recovered);
+        ("verdict", Metrics.Json.Str c.c_verdict);
+        ("max_bits", Metrics.Json.Int c.c_max_bits);
+        ("injections", Metrics.Json.List (List.map injection_json c.c_injections));
+      ]
+  in
+  let chaos family n seeds seed algos_s plans_s daemons_s max_rounds max_injections
+      stall_window cycle_repeats out =
+    let split s =
+      String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+    in
+    match Generators.by_name family with
+    | None -> `Error (false, Printf.sprintf "unknown graph family %S" family)
+    | Some gen -> (
+        let plans_r =
+          if plans_s = "defaults" then Ok Fault.Plan.defaults
+          else Fault.Plan.parse_list plans_s
+        in
+        match plans_r with
+        | Error msg -> `Error (false, msg)
+        | Ok plans -> (
+            let daemons = List.map (fun d -> (d, Scheduler.by_name d)) (split daemons_s) in
+            match List.find_opt (fun (_, o) -> o = None) daemons with
+            | Some (d, _) -> `Error (false, Printf.sprintf "unknown scheduler %S" d)
+            | None -> (
+                let daemons = List.map (fun (d, o) -> (d, Option.get o)) daemons in
+                let algo_list = split algos_s in
+                match List.find_opt (fun a -> not (List.mem a algos)) algo_list with
+                | Some a -> `Error (false, Printf.sprintf "unknown algorithm %S" a)
+                | None ->
+                    let cells = ref [] in
+                    let failures = ref 0 in
+                    Format.printf
+                      "algo,plan,sched,seed,recovered,verdict,base_rounds,rounds,steps,injections@.";
+                    List.iter
+                      (fun algo ->
+                        List.iter
+                          (fun plan ->
+                            let pname = Fault.Plan.name plan in
+                            List.iter
+                              (fun (dname, sched) ->
+                                for s = 1 to seeds do
+                                  (* One seed pins the topology, the initial
+                                     configuration, every daemon pick and every
+                                     fault coin of the cell. *)
+                                  let rng =
+                                    Random.State.make
+                                      [| seed; Hashtbl.hash (algo, pname, dname); n; s |]
+                                  in
+                                  let g = gen rng ~n in
+                                  let c =
+                                    chaos_algo algo g sched rng ~plan ~max_rounds
+                                      ~max_injections ~stall_window ~cycle_repeats
+                                  in
+                                  if not c.c_recovered then incr failures;
+                                  Format.printf "%s,%s,%s,%d,%b,%s,%d,%d,%d,%d@." algo
+                                    pname dname s c.c_recovered c.c_verdict c.c_base_rounds
+                                    c.c_rounds c.c_steps (List.length c.c_injections);
+                                  cells :=
+                                    (algo, pname, dname, s, Graph.n g, Graph.m g, c)
+                                    :: !cells
+                                done)
+                              daemons)
+                          plans)
+                      algo_list;
+                    let cells = List.rev !cells in
+                    let json =
+                      Metrics.Json.Obj
+                        [
+                          ( "meta",
+                            Metrics.Json.Obj
+                              [
+                                ("experiment", Metrics.Json.Str "E8-chaos");
+                                ("graph", Metrics.Json.Str family);
+                                ("n", Metrics.Json.Int n);
+                                ("seeds", Metrics.Json.Int seeds);
+                                ("seed_base", Metrics.Json.Int seed);
+                                ("max_rounds", Metrics.Json.Int max_rounds);
+                                ("max_injections", Metrics.Json.Int max_injections);
+                              ] );
+                          ("cells", Metrics.Json.List (List.map cell_json cells));
+                          ( "summary",
+                            Metrics.Json.Obj
+                              [
+                                ("cells", Metrics.Json.Int (List.length cells));
+                                ( "recovered",
+                                  Metrics.Json.Int (List.length cells - !failures) );
+                                ("failed", Metrics.Json.Int !failures);
+                              ] );
+                        ]
+                    in
+                    let oc = open_out out in
+                    Fun.protect
+                      ~finally:(fun () -> close_out oc)
+                      (fun () -> Metrics.Json.to_channel oc json);
+                    Format.printf "chaos: %d cells, %d recovered, %d failed -> %s@."
+                      (List.length cells)
+                      (List.length cells - !failures)
+                      !failures out;
+                    if !failures > 0 then begin
+                      Format.printf "chaos: FAIL@.";
+                      exit 1
+                    end;
+                    `Ok ())))
+  in
+  let seeds_arg =
+    Arg.(value & opt int 2 & info [ "seeds" ] ~docv:"S" ~doc:"Seeds per cell.")
+  in
+  let algos_arg =
+    Arg.(
+      value & opt string "bfs,mst,spt"
+      & info [ "algos" ] ~docv:"A1,A2,.." ~doc:"Comma-separated algorithms.")
+  in
+  let plans_arg =
+    Arg.(
+      value & opt string "defaults"
+      & info [ "plans" ] ~docv:"P1,P2,.."
+          ~doc:
+            "Comma-separated fault plans (grammar TARGET/PAYLOAD\\@TIMING; targets \
+             random:K, nodes:1+2, root, deepest, subtree; payloads randomize, bitflip, \
+             stale:D; timings silence, periodic:R, poisson:RATE), or 'defaults'.")
+  in
+  let daemons_arg =
+    Arg.(
+      value & opt string "random,distributed"
+      & info [ "daemons" ] ~docv:"D1,D2,.."
+          ~doc:
+            "Comma-separated schedulers to sweep (greedy-max/greedy-min add the \
+             potential-adversarial daemons). The synchronous daemon is deliberately \
+             not a default: the MST builder can livelock under it from some \
+             adversarial configurations (see EXPERIMENTS.md E8).")
+  in
+  let max_rounds_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-rounds" ] ~docv:"R" ~doc:"Round budget per episode.")
+  in
+  let max_injections_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-injections" ] ~docv:"K"
+          ~doc:"Injection cap per episode for periodic/poisson plans.")
+  in
+  let stall_window_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "stall-window" ] ~docv:"W"
+          ~doc:"Watchdog: rounds without a new potential minimum that count as a stall.")
+  in
+  let cycle_repeats_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "cycle-repeats" ] ~docv:"C"
+          ~doc:
+            "Watchdog: occurrences of one configuration hash that count as a livelock.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "CHAOS_repro.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Campaign artifact path.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded fault campaign (algorithms x fault plans x daemons x seeds); \
+          write CHAOS_repro.json; exit 1 if any cell fails to recover.")
+    Term.(
+      ret
+        (const chaos $ graph_arg $ n_arg $ seeds_arg $ seed_arg $ algos_arg $ plans_arg
+       $ daemons_arg $ max_rounds_arg $ max_injections_arg $ stall_window_arg
+       $ cycle_repeats_arg $ out_arg))
+
 let list_cmd =
   let list () =
     Format.printf "algorithms: %s@." (String.concat ", " algos);
     Format.printf "graphs:     %s@." (String.concat ", " Generators.all_names);
-    Format.printf "schedulers: %s@." (String.concat ", " (List.map fst Scheduler.all))
+    Format.printf "schedulers: %s@." (String.concat ", " (List.map fst Scheduler.extended));
+    Format.printf "fault plans: %s (grammar: TARGET/PAYLOAD@TIMING)@."
+      (String.concat ", " (List.map Fault.Plan.name Fault.Plan.defaults))
   in
   Cmd.v (Cmd.info "list" ~doc:"List algorithms, graph families and schedulers.")
     Term.(const list $ const ())
@@ -322,4 +598,4 @@ let () =
         "Silent self-stabilizing constrained spanning tree constructions (Blin & \
          Fraigniaud, ICDCS 2015)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; bench_diff_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; chaos_cmd; bench_diff_cmd; list_cmd ]))

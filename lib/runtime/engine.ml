@@ -66,8 +66,8 @@ module Make (P : Protocol.S) = struct
      (test_engine_equiv). *)
 
   let run_reference ?(max_steps = 10_000_000) ?(max_rounds = 200_000)
-      ?(track_legal = false) ?(stop_when_legal = false) ?telemetry ?on_round ?on_step g
-      sched rng ~init =
+      ?(track_legal = false) ?(stop_when_legal = false) ?telemetry ?on_round ?on_step
+      ?adversary ?stop_when g sched rng ~init =
     let net = net_of g in
     let states = Array.copy init in
     let n = Graph.n g in
@@ -76,6 +76,9 @@ module Make (P : Protocol.S) = struct
     let max_bits = ref (max_bits_of states) in
     let first_legal = ref None in
     let stop = ref false in
+    let poll_stop () =
+      match stop_when with Some f -> if f () then stop := true | None -> ()
+    in
     (* Incrementally maintained activatability: stepping node [v] can only
        change the enabled status of [v] and its neighbors. *)
     let is_enabled = Array.make n false in
@@ -93,6 +96,23 @@ module Make (P : Protocol.S) = struct
     let touch v =
       recompute v;
       Array.iter recompute net.ids.(v)
+    in
+    (* Transient faults: adversary writes at a round boundary are not
+       protocol steps — no step count, no [on_step], no telemetry write —
+       but the corrupted registers are observed for [max_bits] and
+       invalidate the activation flags of their closed neighborhoods. *)
+    let inject () =
+      match adversary with
+      | None -> ()
+      | Some f ->
+          List.iter
+            (fun (v, s) ->
+              if states.(v) != s then begin
+                states.(v) <- s;
+                max_bits := max !max_bits (P.size_bits n s);
+                touch v
+              end)
+            (f ~round:!rounds states)
     in
     let enabled_list () =
       let acc = ref [] in
@@ -112,7 +132,8 @@ module Make (P : Protocol.S) = struct
       max_bits := max !max_bits bits;
       (match telemetry with Some t -> Telemetry.on_write t ~bits | None -> ());
       touch v;
-      match on_step with Some f -> f v states | None -> ()
+      (match on_step with Some f -> f v states | None -> ());
+      poll_stop ()
     in
     let round_boundary () =
       (match telemetry with
@@ -129,11 +150,13 @@ module Make (P : Protocol.S) = struct
             ~total_bits:!total ~phi
       | None -> ());
       (match on_round with Some f -> f !rounds states | None -> ());
-      if (track_legal || stop_when_legal) && !first_legal = None then
+      (if (track_legal || stop_when_legal) && !first_legal = None then
         if P.is_legal g states then begin
           first_legal := Some !rounds;
           if stop_when_legal then stop := true
-        end
+        end);
+      poll_stop ();
+      if not !stop then inject ()
     in
     round_boundary ();
     let pick_central strategy candidates =
@@ -156,6 +179,36 @@ module Make (P : Protocol.S) = struct
               then v
               else best)
             (List.hd candidates) candidates
+      | Scheduler.Greedy_max_phi | Scheduler.Greedy_min_phi ->
+          (* Trial-evaluate Φ after each candidate's move (set, measure,
+             restore — P.potential reads the configuration directly, so
+             the probe is invisible elsewhere). Undefined Φ scores +∞;
+             ties go to the smallest id (candidates are increasing). *)
+          let maximize = strategy = Scheduler.Greedy_max_phi in
+          let score v =
+            match P.step (view_net net states v) with
+            | None -> None (* cannot happen: flag is fresh *)
+            | Some s ->
+                let old = states.(v) in
+                states.(v) <- s;
+                let phi = P.potential g states in
+                states.(v) <- old;
+                Some (match phi with Some p -> p | None -> max_int)
+          in
+          let best =
+            List.fold_left
+              (fun best v ->
+                match score v with
+                | None -> best
+                | Some sc -> (
+                    match best with
+                    | None -> Some (v, sc)
+                    | Some (_, bs) ->
+                        if (if maximize then sc > bs else sc < bs) then Some (v, sc)
+                        else best))
+              None candidates
+          in
+          fst (Option.get best)
     in
     (* [pending] = nodes enabled at the start of the current round that have
        neither stepped nor been observed non-activatable (Section II-A). *)
@@ -195,8 +248,10 @@ module Make (P : Protocol.S) = struct
           in
           List.iter
             (fun (v, s) ->
-              apply v s;
-              Hashtbl.remove pending v)
+              if not !stop then begin
+                apply v s;
+                Hashtbl.remove pending v
+              end)
             moves
       | Scheduler.Central strategy ->
           let candidates = enabled_list () in
@@ -219,11 +274,12 @@ module Make (P : Protocol.S) = struct
              state model is read/write atomic per node). *)
           List.iter
             (fun v ->
-              match P.step (view_net net states v) with
-              | Some s ->
-                  apply v s;
-                  Hashtbl.remove pending v
-              | None -> ())
+              if not !stop then
+                match P.step (view_net net states v) with
+                | Some s ->
+                    apply v s;
+                    Hashtbl.remove pending v
+                | None -> ())
             chosen);
       prune_pending ()
     done;
@@ -266,7 +322,8 @@ module Make (P : Protocol.S) = struct
      guard read happens immediately. *)
 
   let run ?(max_steps = 10_000_000) ?(max_rounds = 200_000) ?(track_legal = false)
-      ?(stop_when_legal = false) ?telemetry ?on_round ?on_step g sched rng ~init =
+      ?(stop_when_legal = false) ?telemetry ?on_round ?on_step ?adversary ?stop_when g
+      sched rng ~init =
     let net = net_of g in
     let states = Array.copy init in
     let n = Graph.n g in
@@ -275,6 +332,9 @@ module Make (P : Protocol.S) = struct
     let max_bits = ref (max_bits_of states) in
     let first_legal = ref None in
     let stop = ref false in
+    let poll_stop () =
+      match stop_when with Some f -> if f () then stop := true | None -> ()
+    in
     (* Reusable scratch views: [data_version.(v)] is bumped whenever a
        register in [v]'s closed neighborhood changes; [view_version.(v)]
        records the version [scratch.(v)] was last refreshed at. *)
@@ -324,6 +384,23 @@ module Make (P : Protocol.S) = struct
         Bitset.clear dirty
       end
     in
+    (* Transient faults (see [run_reference]): adversary writes are not
+       steps, but they dirty the closed neighborhoods and the caches are
+       rebuilt from the corrupted registers before the next pick. *)
+    let inject () =
+      match adversary with
+      | None -> ()
+      | Some f ->
+          List.iter
+            (fun (v, s) ->
+              if states.(v) != s then begin
+                states.(v) <- s;
+                max_bits := max !max_bits (P.size_bits n s);
+                touch v
+              end)
+            (f ~round:!rounds states);
+          flush ()
+    in
     (* Adversary bookkeeping. *)
     let last_step_time = Array.make n (-1) in
     let rr_cursor = ref 0 in
@@ -341,7 +418,8 @@ module Make (P : Protocol.S) = struct
       if old != s then touch v;
       if not defer then flush ();
       Bitset.remove pending v;
-      match on_step with Some f -> f v states | None -> ()
+      (match on_step with Some f -> f v states | None -> ());
+      poll_stop ()
     in
     let round_boundary () =
       (match telemetry with
@@ -359,11 +437,13 @@ module Make (P : Protocol.S) = struct
             ~max_bits:!mx ~total_bits:!total ~phi
       | None -> ());
       (match on_round with Some f -> f !rounds states | None -> ());
-      if (track_legal || stop_when_legal) && !first_legal = None then
-        if P.is_legal g states then begin
-          first_legal := Some !rounds;
-          if stop_when_legal then stop := true
-        end
+      (if (track_legal || stop_when_legal) && !first_legal = None then
+         if P.is_legal g states then begin
+           first_legal := Some !rounds;
+           if stop_when_legal then stop := true
+         end);
+      poll_stop ();
+      if not !stop then inject ()
     in
     round_boundary ();
     (* Daemon picks. The published semantics enumerate candidates in
@@ -400,6 +480,29 @@ module Make (P : Protocol.S) = struct
               then v
               else best)
             (-1) enabled
+      | Scheduler.Greedy_max_phi | Scheduler.Greedy_min_phi ->
+          (* Same trial evaluation as [run_reference], but the candidate's
+             move comes from the cache. The probe mutates [states] and
+             restores it before anything reads a scratch view, so the
+             version counters stay honest. Strict-improvement over the
+             sorted enumeration = ties to the smallest id. *)
+          let maximize = strategy = Scheduler.Greedy_max_phi in
+          let best =
+            List.fold_left
+              (fun best v ->
+                let s = Option.get moves.(v) in
+                let old = states.(v) in
+                states.(v) <- s;
+                let phi = P.potential g states in
+                states.(v) <- old;
+                let sc = match phi with Some p -> p | None -> max_int in
+                match best with
+                | None -> Some (v, sc)
+                | Some (_, bs) ->
+                    if (if maximize then sc > bs else sc < bs) then Some (v, sc) else best)
+              None (Enabled_set.sorted enabled)
+          in
+          fst (Option.get best)
     in
     let reset_pending () = Enabled_set.snapshot enabled pending in
     reset_pending ();
@@ -428,9 +531,10 @@ module Make (P : Protocol.S) = struct
           let movers = Enabled_set.sorted enabled in
           List.iter
             (fun v ->
-              match moves.(v) with
-              | Some s -> apply ~defer:true v s
-              | None -> () (* unreachable: cache fresh at round top *))
+              if not !stop then
+                match moves.(v) with
+                | Some s -> apply ~defer:true v s
+                | None -> () (* unreachable: cache fresh at round top *))
             movers;
           flush ()
       | Scheduler.Central strategy ->
@@ -451,9 +555,10 @@ module Make (P : Protocol.S) = struct
              [P.step] would compute on the live registers. *)
           List.iter
             (fun v ->
-              match moves.(v) with
-              | Some s -> apply ~defer:false v s
-              | None -> ())
+              if not !stop then
+                match moves.(v) with
+                | Some s -> apply ~defer:false v s
+                | None -> ())
             chosen);
       prune_pending ()
     done;

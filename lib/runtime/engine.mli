@@ -64,7 +64,29 @@ module Make (P : Protocol.S) : sig
       execution stops at the first legal round boundary — used for
       non-silent baselines that never terminate on their own. Defaults:
       [max_steps] = 10_000_000, [max_rounds] = 200_000,
-      [track_legal] = false. *)
+      [track_legal] = false.
+
+      Two chaos-harness hooks:
+
+      [adversary] models {e mid-execution transient faults}. It is
+      invoked at every round boundary (including round 0) with the round
+      index and the live configuration, and returns register overwrites
+      [(node, state)] to apply {e as faults}: they count as neither steps
+      nor telemetry writes and do not fire [on_step], but they invalidate
+      the affected guards, are observed for [max_bits], and the round
+      accounting restarts from the resulting enabled set — so recovery is
+      measured from live intermediate configurations, not only from
+      silent ones. The callback must treat the passed configuration as
+      read-only (return writes; do not mutate it) and return only
+      in-range node ids.
+
+      [stop_when] is a polling predicate consulted after every register
+      write and at every round boundary; when it first returns [true]
+      the run aborts where it stands (remaining writes of a synchronous
+      or distributed batch are skipped, and no further faults are
+      injected). The convergence watchdog ({!Watchdog}) uses it to cut
+      livelocked or stalled runs short instead of burning the round
+      budget. *)
   val run :
     ?max_steps:int ->
     ?max_rounds:int ->
@@ -73,6 +95,8 @@ module Make (P : Protocol.S) : sig
     ?telemetry:Telemetry.t ->
     ?on_round:(int -> P.state array -> unit) ->
     ?on_step:(int -> P.state array -> unit) ->
+    ?adversary:(round:int -> P.state array -> (int * P.state) list) ->
+    ?stop_when:(unit -> bool) ->
     Repro_graph.Graph.t ->
     Scheduler.t ->
     Random.State.t ->
@@ -96,6 +120,8 @@ module Make (P : Protocol.S) : sig
     ?telemetry:Telemetry.t ->
     ?on_round:(int -> P.state array -> unit) ->
     ?on_step:(int -> P.state array -> unit) ->
+    ?adversary:(round:int -> P.state array -> (int * P.state) list) ->
+    ?stop_when:(unit -> bool) ->
     Repro_graph.Graph.t ->
     Scheduler.t ->
     Random.State.t ->

@@ -4,6 +4,8 @@ type central =
   | Max_id
   | Min_id
   | Lifo_adversary
+  | Greedy_max_phi
+  | Greedy_min_phi
 
 type t = Synchronous | Central of central | Distributed of float
 
@@ -18,12 +20,19 @@ let all =
     ("distributed", Distributed 0.5);
   ]
 
+let extended =
+  all
+  @ [
+      ("greedy-max", Central Greedy_max_phi);
+      ("greedy-min", Central Greedy_min_phi);
+    ]
+
 let pp ppf t =
   let name =
-    match List.find_opt (fun (_, s) -> s = t) all with
+    match List.find_opt (fun (_, s) -> s = t) extended with
     | Some (n, _) -> n
     | None -> ( match t with Distributed p -> Printf.sprintf "distributed(%.2f)" p | _ -> "?")
   in
   Format.pp_print_string ppf name
 
-let by_name s = List.assoc_opt s all
+let by_name s = List.assoc_opt s extended

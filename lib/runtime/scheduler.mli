@@ -14,7 +14,23 @@
       the most recently stepped node that is still enabled, starving the
       others as long as possible;
     - [Distributed p]: each enabled node steps independently with
-      probability [p] (at least one forced). *)
+      probability [p] (at least one forced);
+
+    plus the two {e potential-greedy} daemons of the chaos harness, a
+    practical approximation of the unfair scheduler's worst (resp. best)
+    case when the protocol defines a potential [Φ]
+    ({!Protocol.S.potential}):
+
+    - [Central Greedy_max_phi]: among the enabled nodes, step the one
+      whose move leaves the {e highest} [Φ] — the adversarial variant,
+      dragging convergence out as long as the move set allows;
+    - [Central Greedy_min_phi]: symmetric, steep{e est}-descent variant.
+
+    Both are evaluated by the engine (the pick needs the live
+    configuration and one trial evaluation of [Φ] per enabled node, so
+    a pick costs O(enabled x cost(Φ))). A move into a configuration
+    where [Φ] is undefined scores [+∞]: the max variant seeks such
+    moves, the min variant avoids them; ties go to the smallest id. *)
 
 type central =
   | Random_daemon
@@ -22,14 +38,22 @@ type central =
   | Max_id
   | Min_id
   | Lifo_adversary
+  | Greedy_max_phi
+  | Greedy_min_phi
 
 type t = Synchronous | Central of central | Distributed of float
 
-(** All schedulers exercised by tests and experiment E7, with display
-    names. *)
+(** The schedulers exercised by the equivalence tests and experiment E7,
+    with display names. Excludes the potential-greedy daemons, whose
+    per-pick [Φ] evaluations are too heavy to sweep through every
+    experiment — see {!extended}. *)
 val all : (string * t) list
+
+(** {!all} plus the potential-greedy daemons ([greedy-max],
+    [greedy-min]); the roster the CLI and chaos campaign select from. *)
+val extended : (string * t) list
 
 val pp : Format.formatter -> t -> unit
 
-(** [by_name s] — lookup in {!all}. *)
+(** [by_name s] — lookup in {!extended}. *)
 val by_name : string -> t option

@@ -8,10 +8,19 @@ type sample = {
   phi : int option;
 }
 
+type recovery = {
+  injection_round : int;
+  injected_nodes : int list;
+  fault_gap : int option;
+  containment_radius : int option;
+  touched : int;
+}
+
 type t = {
   record_phi : bool;
   reg : Metrics.t;
   mutable rev_samples : sample list;
+  mutable rev_recoveries : recovery list;
   mutable writes_total : int;
   mutable writes_at_last_round : int;
   writes_c : Metrics.counter;
@@ -29,6 +38,7 @@ let create ?(record_phi = true) ?registry () =
     record_phi;
     reg;
     rev_samples = [];
+    rev_recoveries = [];
     writes_total = 0;
     writes_at_last_round = 0;
     writes_c = Metrics.counter reg "telemetry.writes";
@@ -58,6 +68,9 @@ let on_round t ~round ~enabled ~max_bits ~total_bits ~phi =
   Metrics.set t.rounds_g round;
   match phi with Some v -> Metrics.set t.phi_g v | None -> ()
 
+let on_recovery t r = t.rev_recoveries <- r :: t.rev_recoveries
+let recoveries t = List.rev t.rev_recoveries
+
 let samples t = List.rev t.rev_samples
 let last t = match t.rev_samples with [] -> None | s :: _ -> Some s
 
@@ -78,6 +91,18 @@ let sample_json s =
       ("phi", match s.phi with Some v -> Metrics.Json.Int v | None -> Metrics.Json.Null);
     ]
 
+let recovery_json r =
+  let opt_int = function Some v -> Metrics.Json.Int v | None -> Metrics.Json.Null in
+  Metrics.Json.Obj
+    [
+      ("injection_round", Metrics.Json.Int r.injection_round);
+      ( "injected_nodes",
+        Metrics.Json.List (List.map (fun v -> Metrics.Json.Int v) r.injected_nodes) );
+      ("fault_gap", opt_int r.fault_gap);
+      ("containment_radius", opt_int r.containment_radius);
+      ("touched", Metrics.Json.Int r.touched);
+    ]
+
 let to_json ?(meta = []) t =
   let ss = samples t in
   let max_bits = List.fold_left (fun acc s -> max acc s.max_bits) 0 ss in
@@ -96,13 +121,21 @@ let to_json ?(meta = []) t =
             (match List.rev phis with (_, v) :: _ -> Some v | [] -> None) );
       ]
   in
-  Metrics.Json.Obj
+  let fields =
     [
       ("meta", Metrics.Json.Obj meta);
       ("rounds", Metrics.Json.List (List.map sample_json ss));
       ("summary", summary);
       ("metrics", Metrics.to_json t.reg);
     ]
+  in
+  let fields =
+    match recoveries t with
+    | [] -> fields
+    | rs ->
+        fields @ [ ("recoveries", Metrics.Json.List (List.map recovery_json rs)) ]
+  in
+  Metrics.Json.Obj fields
 
 let to_csv t =
   let buf = Buffer.create 1024 in

@@ -27,6 +27,21 @@ type sample = {
   phi : int option;  (** protocol potential, when defined *)
 }
 
+(** One mid-run fault injection and how the protocol absorbed it,
+    recorded by the chaos harness ({!Chaos}). *)
+type recovery = {
+  injection_round : int;  (** round boundary at which the fault landed *)
+  injected_nodes : int list;  (** nodes whose registers were corrupted *)
+  fault_gap : int option;
+      (** rounds from injection back to a silent legal configuration;
+          [None] when the run never recovered from this injection *)
+  containment_radius : int option;
+      (** max over the nodes that wrote during recovery of the hop
+          distance to the nearest injected node; [None] when no node
+          wrote (the fault was absorbed without any correction) *)
+  touched : int;  (** distinct nodes that wrote during recovery *)
+}
+
 type t
 
 (** [create ()] — a fresh sink. [~record_phi:false] skips the (possibly
@@ -44,6 +59,13 @@ val on_write : t -> bits:int -> unit
 val on_round :
   t -> round:int -> enabled:int -> max_bits:int -> total_bits:int -> phi:int option -> unit
 
+(** [on_recovery t r] appends a per-injection recovery record (chaos
+    harness hook; the engine itself never calls this). *)
+val on_recovery : t -> recovery -> unit
+
+(** Recovery records in injection order. *)
+val recoveries : t -> recovery list
+
 (** Samples in chronological order. *)
 val samples : t -> sample list
 
@@ -54,7 +76,8 @@ val phi_series : t -> (int * int) list
 
 val registry : t -> Metrics.t
 
-(** [{"meta": {..}, "rounds": [..], "summary": {..}, "metrics": {..}}];
+(** [{"meta": {..}, "rounds": [..], "summary": {..}, "metrics": {..}}],
+    plus a ["recoveries"] array when any recovery record was appended;
     [meta] carries caller-supplied run identification (algo, seed,
     ...). *)
 val to_json : ?meta:(string * Metrics.Json.t) list -> t -> Metrics.Json.t

@@ -1,0 +1,116 @@
+type verdict =
+  | Converged
+  | Livelock of { round : int; period : int }
+  | Stalled of { round : int; window : int }
+  | Exhausted of { rounds : int; steps : int }
+
+let verdict_name = function
+  | Converged -> "converged"
+  | Livelock _ -> "livelock"
+  | Stalled _ -> "stalled"
+  | Exhausted _ -> "exhausted"
+
+let pp_verdict ppf = function
+  | Converged -> Format.pp_print_string ppf "converged"
+  | Livelock { round; period } ->
+      Format.fprintf ppf "livelock (configuration cycle of period %d at round %d)" period
+        round
+  | Stalled { round; window } ->
+      Format.fprintf ppf "stalled (no new potential minimum for %d rounds at round %d)"
+        window round
+  | Exhausted { rounds; steps } ->
+      Format.fprintf ppf "exhausted (limits hit at %d rounds / %d steps, no pattern)"
+        rounds steps
+
+type t = {
+  stall_window : int;
+  cycle_repeats : int;
+  (* hash -> (occurrences, index of last occurrence); separate tables so
+     the per-write probe cannot double-count the round-boundary
+     configuration (the boundary config IS the config after the round's
+     last write). *)
+  round_seen : (int, int * int) Hashtbl.t;
+  step_seen : (int, int * int) Hashtbl.t;
+  mutable step_index : int;
+  mutable best_phi : int option;
+  mutable best_phi_round : int;
+  mutable last_round : int;
+  mutable last_steps : int;
+  mutable tripped : verdict option;
+}
+
+let create ?(stall_window = 64) ?(cycle_repeats = 3) () =
+  {
+    stall_window;
+    cycle_repeats;
+    round_seen = Hashtbl.create 256;
+    step_seen = Hashtbl.create 1024;
+    step_index = 0;
+    best_phi = None;
+    best_phi_round = 0;
+    last_round = 0;
+    last_steps = 0;
+    tripped = None;
+  }
+
+let reset t =
+  Hashtbl.reset t.round_seen;
+  Hashtbl.reset t.step_seen;
+  t.best_phi <- None;
+  t.best_phi_round <- t.last_round;
+  t.tripped <- None
+
+let trip t v = if t.tripped = None then t.tripped <- Some v
+
+let cycle tbl ~repeats ~index ~hash =
+  let count, last = match Hashtbl.find_opt tbl hash with Some c -> c | None -> (0, index) in
+  Hashtbl.replace tbl hash (count + 1, index);
+  if count + 1 >= repeats then Some (max 1 (index - last)) else None
+
+let observe_round t ~round ~hash ~phi =
+  t.last_round <- round;
+  (match cycle t.round_seen ~repeats:t.cycle_repeats ~index:round ~hash with
+  | Some period -> trip t (Livelock { round; period })
+  | None -> ());
+  match phi with
+  | Some p ->
+      (match t.best_phi with
+      | None ->
+          t.best_phi <- Some p;
+          t.best_phi_round <- round
+      | Some best when p < best ->
+          t.best_phi <- Some p;
+          t.best_phi_round <- round
+      | Some _ -> ());
+      if t.best_phi <> None && round - t.best_phi_round >= t.stall_window then
+        trip t (Stalled { round; window = t.stall_window })
+  | None -> ()
+
+let observe_step t ~hash =
+  t.step_index <- t.step_index + 1;
+  t.last_steps <- t.step_index;
+  match cycle t.step_seen ~repeats:t.cycle_repeats ~index:t.step_index ~hash with
+  | Some period -> trip t (Livelock { round = t.last_round; period })
+  | None -> ()
+
+let tripped t = t.tripped
+
+let verdict t ~silent =
+  if silent then Converged
+  else
+    match t.tripped with
+    | Some v -> v
+    | None -> Exhausted { rounds = t.last_round; steps = t.step_index }
+
+(* A protocol-agnostic configuration fingerprint. [Hashtbl.hash]'s
+   default traversal limits would make distinct deep registers collide
+   systematically, so every register is hashed with generous limits and
+   the per-node hashes are mixed positionally. Collisions only matter at
+   [cycle_repeats] simultaneous false positives — acceptable for a
+   watchdog. *)
+let config_hash states =
+  let h = ref 0x9E3779B9 in
+  Array.iter
+    (fun s -> h := (!h * 31) + Hashtbl.hash_param 64 256 s)
+    states;
+  !h land max_int

@@ -1,0 +1,71 @@
+(** Convergence watchdog.
+
+    Distinguishes {e why} a run failed to reach silence instead of
+    reporting bare limit exhaustion. Two failure signatures are
+    recognized online, cheaply enough to keep attached to every chaos
+    episode:
+
+    - {b livelock} — the execution revisits a configuration it has
+      already been in (detected as a repeated configuration hash, at
+      round {e and} at step granularity, so pure-step livelocks under
+      starving daemons that never complete a round are caught too);
+    - {b stalled potential} — the protocol exposes a potential [Φ]
+      ({!Protocol.S.potential}) but no {e new minimum} of [Φ] has been
+      observed for [stall_window] consecutive rounds.
+
+    The watchdog is engine-agnostic: feed it through [on_round] /
+    [on_step] closures and hand {!tripped} to [Engine.run ~stop_when]
+    to abort a doomed run early. After a mid-run fault injection call
+    {!reset} — the old hashes and the old [Φ] floor describe a
+    configuration the fault just destroyed. *)
+
+type verdict =
+  | Converged  (** the run reached silence *)
+  | Livelock of { round : int; period : int }
+      (** a configuration hash recurred [cycle_repeats] times; [period]
+          is the index distance between the last two occurrences *)
+  | Stalled of { round : int; window : int }
+      (** [Φ] made no new minimum for [window] consecutive rounds *)
+  | Exhausted of { rounds : int; steps : int }
+      (** limits hit with no recognized pattern *)
+
+val verdict_name : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type t
+
+(** [create ()] — fresh watchdog. [stall_window] (default 64) is the
+    number of rounds without a new [Φ] minimum that counts as a stall;
+    [cycle_repeats] (default 3) is how many times a configuration hash
+    must be seen before declaring a livelock (3 tolerates one benign
+    hash collision). *)
+val create : ?stall_window:int -> ?cycle_repeats:int -> unit -> t
+
+(** [observe_round t ~round ~hash ~phi] — feed one round boundary:
+    [hash] fingerprints the configuration (see {!config_hash}), [phi]
+    is the live potential ([None] when the protocol defines none or it
+    is undefined in this configuration — no stall tracking then). *)
+val observe_round : t -> round:int -> hash:int -> phi:int option -> unit
+
+(** [observe_step t ~hash] — feed one register write. Kept in a table
+    separate from the round hashes so a round-boundary configuration is
+    not double-counted by the write that produced it. *)
+val observe_step : t -> hash:int -> unit
+
+(** [reset t] forgets all hashes and the [Φ] floor; call immediately
+    after a fault injection. A previously tripped verdict is cleared. *)
+val reset : t -> unit
+
+(** [tripped t] — the verdict detected so far, if any. Suitable as an
+    early-abort predicate: [~stop_when:(fun () -> tripped w <> None)]. *)
+val tripped : t -> verdict option
+
+(** [verdict t ~silent] — final classification: [Converged] when
+    [silent], else the tripped verdict, else [Exhausted]. *)
+val verdict : t -> silent:bool -> verdict
+
+(** [config_hash states] — order-sensitive fingerprint of a
+    configuration, hashing every register with generous traversal
+    limits (the default [Hashtbl.hash] depth cutoff would systematically
+    collide deep registers). *)
+val config_hash : 'a array -> int
