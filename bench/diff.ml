@@ -67,6 +67,59 @@ let keyed records =
     records
 
 (* ------------------------------------------------------------------ *)
+(* Identity comparison (bench-diff --require-identical): two artifacts
+   produced from the same seeds at different [--jobs] must agree in
+   every field except wall time. Schema-agnostic — works on
+   BENCH_repro.json and CHAOS_repro.json alike: [wall_ns] fields are
+   stripped recursively, then the JSON trees must be equal, and the
+   first divergence is reported by path. *)
+
+let load_json path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Json.of_string contents with
+      | None -> Error (path ^ ": not valid JSON")
+      | Some j -> Ok j)
+
+let rec strip_wall = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) -> if k = "wall_ns" then None else Some (k, strip_wall v))
+           fields)
+  | Json.List items -> Json.List (List.map strip_wall items)
+  | j -> j
+
+let first_divergence a b =
+  let rec go path a b =
+    match (a, b) with
+    | Json.Obj fa, Json.Obj fb ->
+        if List.map fst fa <> List.map fst fb then
+          Some
+            (Printf.sprintf "%s: field sets differ ({%s} vs {%s})" path
+               (String.concat "," (List.map fst fa))
+               (String.concat "," (List.map fst fb)))
+        else
+          List.find_map
+            (fun ((k, va), (_, vb)) -> go (path ^ "." ^ k) va vb)
+            (List.combine fa fb)
+    | Json.List la, Json.List lb ->
+        if List.length la <> List.length lb then
+          Some
+            (Printf.sprintf "%s: list lengths differ (%d vs %d)" path (List.length la)
+               (List.length lb))
+        else
+          List.find_map
+            (fun (i, (va, vb)) -> go (Printf.sprintf "%s[%d]" path i) va vb)
+            (List.mapi (fun i p -> (i, p)) (List.combine la lb))
+    | _ -> if a = b then None else
+          Some
+            (Printf.sprintf "%s: %s <> %s" path (Json.to_string a) (Json.to_string b))
+  in
+  go "$" (strip_wall a) (strip_wall b)
+
+(* ------------------------------------------------------------------ *)
 (* Comparison *)
 
 type verdict = Ok_same | Ok_improved | Ok_within_tolerance | Regressed of string list

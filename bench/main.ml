@@ -19,17 +19,24 @@ module E = Graph.Edge
 
 (* [--seed N] replaces the default RNG seed base; [--out FILE] redirects
    the BENCH_repro.json artifact (the smoke gate writes to a declared
-   dune target); remaining arguments select experiments. *)
-let seed_base, out_path, exp_args =
-  let rec go seed out acc = function
-    | [] -> (seed, out, List.rev acc)
+   dune target); [--jobs N] sets the worker-domain count for the
+   independent experiment cells (default: the machine's recommended
+   domain count; 1 = the exact sequential path); remaining arguments
+   select experiments. *)
+let seed_base, out_path, jobs, exp_args =
+  let rec go seed out jobs acc = function
+    | [] -> (seed, out, jobs, List.rev acc)
     | "--seed" :: v :: rest ->
-        go (match int_of_string_opt v with Some s -> s | None -> seed) out acc rest
-    | "--out" :: v :: rest -> go seed v acc rest
-    | a :: rest -> go seed out (a :: acc) rest
+        go (match int_of_string_opt v with Some s -> s | None -> seed) out jobs acc rest
+    | "--out" :: v :: rest -> go seed v jobs acc rest
+    | "--jobs" :: v :: rest ->
+        go seed out (match int_of_string_opt v with Some j -> j | None -> jobs) acc rest
+    | a :: rest -> go seed out jobs (a :: acc) rest
   in
-  go 0xE57 "BENCH_repro.json" [] (Array.to_list Sys.argv |> List.tl)
+  go 0xE57 "BENCH_repro.json" (Pool.default_jobs ()) []
+    (Array.to_list Sys.argv |> List.tl)
 
+let pool = Pool.create ~jobs ()
 let rng_of tag = Random.State.make [| seed_base; tag |]
 let header id title = Format.printf "@.==== %s: %s ====@." id title
 
@@ -43,25 +50,45 @@ let selected id = exp_args = [] || List.mem id exp_args
 (* BENCH_repro.json: every engine run an experiment performs is recorded
    as {exp, algo, n, rounds, steps, max_bits, wall_ns} and the collection
    is written at exit — the machine-readable trajectory perf PRs diff
-   against. wall_ns is Sys.time (CPU ns): monotonic enough for
-   trend-tracking without a Unix dependency. *)
+   against. wall_ns is wall-clock time measured inside the worker that
+   runs the cell: Sys.time would report process CPU time, which
+   aggregates across every domain and inflates each record as soon as
+   cells run in parallel. *)
 
 let bench_records : Metrics.Json.t list ref = ref []
 
 let record ~exp ~algo ~n ~rounds ~steps ~max_bits ~wall_ns =
-  bench_records :=
-    Metrics.Json.(
-      Obj
-        [
-          ("exp", Str exp); ("algo", Str algo); ("n", Int n); ("rounds", Int rounds);
-          ("steps", Int steps); ("max_bits", Int max_bits); ("wall_ns", Int wall_ns);
-        ])
-    :: !bench_records
+  Metrics.Json.(
+    Obj
+      [
+        ("exp", Str exp); ("algo", Str algo); ("n", Int n); ("rounds", Int rounds);
+        ("steps", Int steps); ("max_bits", Int max_bits); ("wall_ns", Int wall_ns);
+      ])
 
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, int_of_float ((Sys.time () -. t0) *. 1e9))
+  (r, int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+
+(* The campaign-cell driver: one row per item, farmed out to the domain
+   pool. Each row is hermetic (its RNG comes from [rng_of] inside the
+   worker), formats its table lines into a private buffer, and returns
+   the bench records it produced; rows are then printed and the records
+   merged in item order, so stdout and BENCH_repro.json are identical
+   at any --jobs. *)
+let par_rows items f =
+  List.iter
+    (fun (row, recs) ->
+      Format.printf "%s" row;
+      bench_records := List.rev_append recs !bench_records)
+    (Pool.map pool
+       (fun item ->
+         let buf = Buffer.create 256 in
+         let ppf = Format.formatter_of_buffer buf in
+         let recs = f ppf item in
+         Format.pp_print_flush ppf ();
+         (Buffer.contents buf, recs))
+       items)
 
 let write_bench_repro () =
   let path = out_path in
@@ -87,27 +114,27 @@ let e1 () =
   header "E1" "MST builder (Corollary 6.1): rounds-to-silence and register bits vs n";
   Format.printf "%6s %6s %8s %10s %8s %10s %8s %6s@." "n" "m" "rounds" "steps" "bits"
     "c*log^2 n" "weight" "MST?";
-  List.iter
-    (fun n ->
+  par_rows [ 8; 12; 16; 24; 32; 48 ] (fun ppf n ->
       let rng = rng_of (100 + n) in
       let g = Generators.random_connected rng ~n ~m:(2 * n) in
       let r, wall_ns =
         timed (fun () ->
             ME.run ~max_rounds:30_000 g Scheduler.Synchronous rng ~init:(ME.initial g))
       in
-      record ~exp:"E1" ~algo:"mst" ~n ~rounds:r.ME.rounds ~steps:r.ME.steps
-        ~max_bits:r.ME.max_bits ~wall_ns;
       let weight, is_mst =
         match Mst_builder.tree_of g r.ME.states with
         | Some t -> (Tree.weight t g, Mst.is_mst g t)
         | None -> (-1, false)
       in
-      Format.printf "%6d %6d %8d %10d %8d %10d %8d %6b%s@." n (Graph.m g) r.ME.rounds
+      Format.fprintf ppf "%6d %6d %8d %10d %8d %10d %8d %6b%s@." n (Graph.m g) r.ME.rounds
         r.ME.steps r.ME.max_bits
         (log2c n * log2c n)
         weight is_mst
-        (if r.ME.silent then "" else "  (round budget hit)"))
-    [ 8; 12; 16; 24; 32; 48 ];
+        (if r.ME.silent then "" else "  (round budget hit)");
+      [
+        record ~exp:"E1" ~algo:"mst" ~n ~rounds:r.ME.rounds ~steps:r.ME.steps
+          ~max_bits:r.ME.max_bits ~wall_ns;
+      ]);
   Format.printf
     "shape: rounds polynomial in n; bits within a constant of log^2 n (space-optimal).@."
 
@@ -130,16 +157,15 @@ let e2 () =
       ("caterpillar", fun rng -> Generators.caterpillar rng ~spine:3 ~legs:3);
     ]
   in
-  List.iteri
-    (fun i (name, gen) ->
+  par_rows
+    (List.mapi (fun i case -> (i, case)) cases)
+    (fun ppf (i, (name, gen)) ->
       let rng = rng_of (200 + i) in
       let g = gen rng in
       let n = Graph.n g in
       let r, wall_ns =
         timed (fun () -> DE.run g Scheduler.Synchronous rng ~init:(DE.initial g))
       in
-      record ~exp:"E2" ~algo:"mdst" ~n ~rounds:r.DE.rounds ~steps:r.DE.steps
-        ~max_bits:r.DE.max_bits ~wall_ns;
       let deg =
         match Mdst_builder.tree_of g r.DE.states with
         | Some t -> Tree.max_degree t
@@ -147,12 +173,15 @@ let e2 () =
       in
       let fr, _, _ = Min_degree.furer_raghavachari g ~root:0 in
       let opt = if n <= 12 then Min_degree.exact g else -1 in
-      Format.printf "%-14s %4d %6d %8d %6d %5d %5s %7b %8b@." name n r.DE.rounds
+      Format.fprintf ppf "%-14s %4d %6d %8d %6d %5d %5s %7b %8b@." name n r.DE.rounds
         r.DE.max_bits deg (Tree.max_degree fr)
         (if opt >= 0 then string_of_int opt else "?")
         (opt < 0 || deg <= opt + 1)
-        r.DE.silent)
-    cases;
+        r.DE.silent;
+      [
+        record ~exp:"E2" ~algo:"mdst" ~n ~rounds:r.DE.rounds ~steps:r.DE.steps
+          ~max_bits:r.DE.max_bits ~wall_ns;
+      ]);
   Format.printf "shape: stable degree <= OPT+1 (FR-trees); bits O(log n).@."
 
 (* ------------------------------------------------------------------ *)
@@ -162,20 +191,23 @@ let e3 () =
   header "E3" "Switching (Lemma 4.1, Figure 1): loop-free, verifier never rejects";
   Format.printf "%6s %10s %12s %12s %10s@." "n" "chain len" "micro steps" "all trees"
     "all accept";
-  List.iter
-    (fun n ->
+  par_rows [ 8; 16; 32; 64; 128 ] (fun ppf n ->
       let rng = rng_of (300 + n) in
       let g = Generators.random_connected rng ~n ~m:(2 * n) in
       let t = Tree.of_graph_bfs g ~root:0 in
+      (* Candidate sampling is O(1) array indexing — [List.nth] under an
+         RNG draw walked O(|E|) (resp. O(n)) links per draw. The RNG
+         consumption (one int each) is unchanged. *)
       let non_tree =
         Array.to_list (Graph.edges g)
         |> List.filter (fun (e : E.t) -> not (Tree.mem_edge t e.E.u e.E.v))
+        |> Array.of_list
       in
-      let e = List.nth non_tree (Random.State.int rng (List.length non_tree)) in
+      let e = non_tree.(Random.State.int rng (Array.length non_tree)) in
       let cycle = Tree.fundamental_cycle t ~e:(e.E.u, e.E.v) in
       let rec pairs = function a :: b :: r -> (a, b) :: pairs (b :: r) | _ -> [] in
-      let ps = pairs cycle in
-      let a, b = List.nth ps (Random.State.int rng (List.length ps)) in
+      let ps = Array.of_list (pairs cycle) in
+      let a, b = ps.(Random.State.int rng (Array.length ps)) in
       let steps, _ = Switch.execute g t ~add:(e.E.u, e.E.v) ~remove:(a, b) in
       let trees =
         List.for_all
@@ -191,9 +223,9 @@ let e3 () =
               ~labels:m.Switch.labels Redundant_pls.verify)
           steps
       in
-      Format.printf "%6d %10d %12d %12b %10b@." n (List.length cycle)
-        (List.length steps) trees accepts)
-    [ 8; 16; 32; 64; 128 ];
+      Format.fprintf ppf "%6d %10d %12d %12b %10b@." n (List.length cycle)
+        (List.length steps) trees accepts;
+      []);
   Format.printf "shape: O(n) micro steps per switch; every row must be true/true.@."
 
 (* ------------------------------------------------------------------ *)
@@ -203,8 +235,7 @@ let e4 () =
   header "E4" "NCA labeling (Lemma 5.1): label bits vs n, PLS soundness";
   Format.printf "%6s %10s %10s %12s %12s %12s %14s@." "n" "max pairs" "raw bits"
     "compact bits" "log2 n" "nca correct" "corrupt caught";
-  List.iter
-    (fun n ->
+  par_rows [ 16; 64; 256; 1024 ] (fun ppf n ->
       let rng = rng_of (400 + n) in
       let g = Generators.random_connected rng ~n ~m:(2 * n) in
       let t = Tree.of_graph_bfs g ~root:0 in
@@ -241,10 +272,10 @@ let e4 () =
         if not (Pls.accepts g ~parent:(Tree.parents t) ~labels:bad Nca_pls.verify) then
           incr caught
       done;
-      Format.printf "%6d %10d %10d %12d %12d %12b %11d/%d%s@." n max_pairs max_bits
+      Format.fprintf ppf "%6d %10d %10d %12d %12d %12b %11d/%d%s@." n max_pairs max_bits
         compact_bits (log2c n) !ok !caught trials
-        (if accepted then "" else "  (PLS completeness FAILED)"))
-    [ 16; 64; 256; 1024 ];
+        (if accepted then "" else "  (PLS completeness FAILED)");
+      []);
   Format.printf
     "shape: pairs <= log2 n + 1; the raw (head,pos) encoding costs O(log^2 n) bits while \
      the alphabetic/γ-coded one ([6], Compact_nca) stays O(log n).@."
@@ -259,8 +290,7 @@ let e5 () =
   header "E5" "BFS (Section III example): rounds, bits, vs the rooted ad-hoc baseline";
   Format.printf "%6s | %8s %6s %6s | %9s %6s %6s@." "n" "pls-rnd" "bits" "legal"
     "adhoc-rnd" "bits" "legal";
-  List.iter
-    (fun n ->
+  par_rows [ 16; 32; 64; 128; 256 ] (fun ppf n ->
       let rng = rng_of (500 + n) in
       let g = Generators.gnp rng ~n ~p:(4.0 /. float_of_int n) in
       let r, r_ns =
@@ -269,13 +299,14 @@ let e5 () =
       let a, a_ns =
         timed (fun () -> AE.run g Scheduler.Synchronous rng ~init:(AE.adversarial rng g))
       in
-      record ~exp:"E5" ~algo:"bfs" ~n ~rounds:r.BE.rounds ~steps:r.BE.steps
-        ~max_bits:r.BE.max_bits ~wall_ns:r_ns;
-      record ~exp:"E5" ~algo:"adhoc-bfs" ~n ~rounds:a.AE.rounds ~steps:a.AE.steps
-        ~max_bits:a.AE.max_bits ~wall_ns:a_ns;
-      Format.printf "%6d | %8d %6d %6b | %9d %6d %6b@." n r.BE.rounds r.BE.max_bits
-        r.BE.legal a.AE.rounds a.AE.max_bits a.AE.legal)
-    [ 16; 32; 64; 128; 256 ];
+      Format.fprintf ppf "%6d | %8d %6d %6b | %9d %6d %6b@." n r.BE.rounds r.BE.max_bits
+        r.BE.legal a.AE.rounds a.AE.max_bits a.AE.legal;
+      [
+        record ~exp:"E5" ~algo:"bfs" ~n ~rounds:r.BE.rounds ~steps:r.BE.steps
+          ~max_bits:r.BE.max_bits ~wall_ns:r_ns;
+        record ~exp:"E5" ~algo:"adhoc-bfs" ~n ~rounds:a.AE.rounds ~steps:a.AE.steps
+          ~max_bits:a.AE.max_bits ~wall_ns:a_ns;
+      ]);
   Format.printf
     "shape: both O(n) rounds and O(log n) bits; the PLS-guided version also elects the \
      root.@."
@@ -286,8 +317,7 @@ let e5 () =
 let e6 () =
   header "E6" "Fragment hierarchy (Figure 2): levels k <= ceil(log2 n) + 1, halving";
   Format.printf "%6s %8s %12s %s@." "n" "levels" "ceil log2 n" "fragments per level";
-  List.iter
-    (fun n ->
+  par_rows [ 8; 16; 32; 64; 128; 256 ] (fun ppf n ->
       let rng = rng_of (600 + n) in
       let g = Generators.random_connected rng ~n ~m:(2 * n) in
       let mst = Mst.tree_of g (Mst.kruskal g) ~root:0 in
@@ -297,8 +327,8 @@ let e6 () =
         List.init k (fun i ->
             string_of_int (List.length (Fragment_labels.fragments_at labels ~level:i)))
       in
-      Format.printf "%6d %8d %12d %s@." n k (log2c n) (String.concat " -> " series))
-    [ 8; 16; 32; 64; 128; 256 ];
+      Format.fprintf ppf "%6d %8d %12d %s@." n k (log2c n) (String.concat " -> " series);
+      []);
   Format.printf "shape: counts at least halve per level down to 1 (Figure 2's invariant).@."
 
 (* ------------------------------------------------------------------ *)
@@ -513,19 +543,19 @@ module SE = Spt_builder.Engine
 let e11 () =
   header "E11" "SPT extension: weighted shortest-path trees (related work [38],[44])";
   Format.printf "%6s %8s %8s %8s %10s@." "n" "rounds" "bits" "legal" "phi(end)";
-  List.iter
-    (fun n ->
+  par_rows [ 16; 32; 64; 128 ] (fun ppf n ->
       let rng = rng_of (1100 + n) in
       let g = Generators.random_connected rng ~n ~m:(2 * n) in
       let r, wall_ns =
         timed (fun () -> SE.run g Scheduler.Synchronous rng ~init:(SE.adversarial rng g))
       in
-      record ~exp:"E11" ~algo:"spt" ~n ~rounds:r.SE.rounds ~steps:r.SE.steps
-        ~max_bits:r.SE.max_bits ~wall_ns;
-      Format.printf "%6d %8d %8d %8b %10d@." n r.SE.rounds r.SE.max_bits
+      Format.fprintf ppf "%6d %8d %8d %8b %10d@." n r.SE.rounds r.SE.max_bits
         (Spt_builder.is_spt g r.SE.states)
-        (Spt_builder.potential g r.SE.states))
-    [ 16; 32; 64; 128 ];
+        (Spt_builder.potential g r.SE.states);
+      [
+        record ~exp:"E11" ~algo:"spt" ~n ~rounds:r.SE.rounds ~steps:r.SE.steps
+          ~max_bits:r.SE.max_bits ~wall_ns;
+      ]);
   Format.printf "shape: silent on the exact Dijkstra distances, O(log n) bits.@."
 
 (* ------------------------------------------------------------------ *)
@@ -535,8 +565,7 @@ let e12 () =
   header "E12" "Steiner extension: FR-style degree reduction over terminal sets";
   Format.printf "%6s %6s %10s %10s %10s %8s@." "n" "|S|" "metric deg" "final deg"
     "exact(set)" "swaps";
-  List.iter
-    (fun (n, nt) ->
+  par_rows [ (12, 4); (16, 5); (24, 6); (32, 8) ] (fun ppf (n, nt) ->
       let rng = rng_of (1200 + n) in
       let g = Generators.gnp rng ~n ~p:0.3 in
       let terminals = List.init nt (fun i -> i * (n / nt)) in
@@ -547,9 +576,9 @@ let e12 () =
           string_of_int (Steiner.exact_degree g ~nodes:final.Steiner.nodes)
         else "?"
       in
-      Format.printf "%6d %6d %10d %10d %10s %8d@." n nt (Steiner.degree base)
-        (Steiner.degree final) exact swaps)
-    [ (12, 4); (16, 5); (24, 6); (32, 8) ];
+      Format.fprintf ppf "%6d %6d %10d %10d %10s %8d@." n nt (Steiner.degree base)
+        (Steiner.degree final) exact swaps;
+      []);
   Format.printf
     "shape: the local search never worsens the metric tree's degree and tracks the      node-set optimum within one where the optimum is computable.@."
 
@@ -611,5 +640,6 @@ let () =
     ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) all;
+  Pool.shutdown pool;
   write_bench_repro ();
   Format.printf "@.done.@."

@@ -149,58 +149,7 @@ let run_algo algo g sched rng ~adversarial ~faults ~max_rounds ?(meta = []) ?met
   | "fullinfo-mdst" -> generic (module Fullinfo.Mdst_instance.P) ~note:(fun _ -> "")
   | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
 
-let algos =
-  [
-    "bfs"; "mst"; "mdst"; "spt"; "adhoc-bfs"; "compact-mst"; "fullinfo-mst";
-    "fullinfo-mdst";
-  ]
-
-(* One chaos-campaign cell, extracted from the per-protocol episode into
-   plain data so the matrix driver and the JSON writer stay functor-free. *)
-type chaos_cell = {
-  c_base_rounds : int;
-  c_rounds : int;
-  c_steps : int;
-  c_silent : bool;
-  c_legal : bool;
-  c_recovered : bool;
-  c_verdict : string;
-  c_max_bits : int;
-  c_injections : Chaos.injection list;
-}
-
-let chaos_algo algo g sched rng ~plan ~max_rounds ~max_injections ~stall_window
-    ~cycle_repeats =
-  let generic (type s) (module P : Protocol.S with type state = s) ~watch_phi =
-    let module C = Chaos.Make (P) in
-    let e =
-      C.run_episode ~max_rounds ~max_injections ~watch_phi ~stall_window ~cycle_repeats g
-        sched rng plan
-    in
-    {
-      c_base_rounds = e.C.base_rounds;
-      c_rounds = e.C.rounds;
-      c_steps = e.C.steps;
-      c_silent = e.C.silent;
-      c_legal = e.C.legal;
-      c_recovered = e.C.recovered;
-      c_verdict = Watchdog.verdict_name e.C.verdict;
-      c_max_bits = e.C.max_bits;
-      c_injections = e.C.injections;
-    }
-  in
-  (* [watch_phi] only where the potential is cheap (totals over the
-     configuration); the MST potential runs the certification prover. *)
-  match algo with
-  | "bfs" -> generic (module Bfs_builder.P) ~watch_phi:true
-  | "mst" -> generic (module Mst_builder.P) ~watch_phi:false
-  | "mdst" -> generic (module Mdst_builder.P) ~watch_phi:false
-  | "spt" -> generic (module Spt_builder.P) ~watch_phi:true
-  | "adhoc-bfs" -> generic (module Adhoc_bfs.P) ~watch_phi:false
-  | "compact-mst" -> generic (module Compact_mst.P) ~watch_phi:false
-  | "fullinfo-mst" -> generic (module Fullinfo.Mst_instance.P) ~watch_phi:false
-  | "fullinfo-mdst" -> generic (module Fullinfo.Mdst_instance.P) ~watch_phi:false
-  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+let algos = Repro_campaign.Campaign.known_algos
 
 open Cmdliner
 
@@ -240,6 +189,16 @@ let metrics_out_arg =
           "Attach a telemetry sink and write the per-round convergence series (enabled \
            nodes, writes, register bits, potential phi) plus metric summaries as JSON to \
            $(docv).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent campaign cells (default: the recommended \
+           domain count of this machine). Artifacts are byte-identical in everything \
+           but wall time at any value; $(docv)=1 runs the exact sequential path.")
 
 let trace_out_arg =
   Arg.(
@@ -285,7 +244,7 @@ let run_cmd =
        $ faults_arg $ max_rounds_arg $ metrics_out_arg $ trace_out_arg))
 
 let sweep_cmd =
-  let sweep algo family ns trials seed sched =
+  let sweep algo family ns trials seed sched jobs =
     match (Generators.by_name family, Scheduler.by_name sched) with
     | None, _ -> `Error (false, Printf.sprintf "unknown graph family %S" family)
     | _, None -> `Error (false, Printf.sprintf "unknown scheduler %S" sched)
@@ -294,20 +253,26 @@ let sweep_cmd =
           String.split_on_char ',' ns
           |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
         in
+        (* Each (n, trial) cell derives its own RNG from the seed, so the
+           cells are independent and the pool hands the rows back in
+           canonical order for printing. *)
+        let cells = List.concat_map (fun n -> List.init trials (fun t -> (n, t + 1))) ns in
+        let rows =
+          Pool.with_pool ~jobs (fun pool ->
+              Pool.map pool
+                (fun (n, trial) ->
+                  let rng = Random.State.make [| seed; n; trial |] in
+                  let g = gen rng ~n in
+                  let o =
+                    run_algo algo g sched rng ~adversarial:false ~faults:0
+                      ~max_rounds:200_000 ()
+                  in
+                  Printf.sprintf "%s,%s,%d,%d,%d,%b,%b,%d,%d,%d" algo family (Graph.n g)
+                    (Graph.m g) trial o.silent o.legal o.rounds o.steps o.max_bits)
+                cells)
+        in
         Format.printf "algo,graph,n,m,trial,silent,legal,rounds,steps,max_bits@.";
-        List.iter
-          (fun n ->
-            for trial = 1 to trials do
-              let rng = Random.State.make [| seed; n; trial |] in
-              let g = gen rng ~n in
-              let o =
-                run_algo algo g sched rng ~adversarial:false ~faults:0
-                  ~max_rounds:200_000 ()
-              in
-              Format.printf "%s,%s,%d,%d,%d,%b,%b,%d,%d,%d@." algo family (Graph.n g)
-                (Graph.m g) trial o.silent o.legal o.rounds o.steps o.max_bits
-            done)
-          ns;
+        List.iter (Format.printf "%s@.") rows;
         `Ok ()
   in
   let ns_arg =
@@ -322,29 +287,49 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep an algorithm over sizes; print CSV rows.")
     Term.(
-      ret (const sweep $ algo_arg $ graph_arg $ ns_arg $ trials_arg $ seed_arg $ sched_arg))
+      ret
+        (const sweep $ algo_arg $ graph_arg $ ns_arg $ trials_arg $ seed_arg $ sched_arg
+       $ jobs_arg))
 
 let bench_diff_cmd =
-  let diff old_path new_path steps_tol wall_tol =
-    let pct p = float_of_int p /. 100.0 in
-    match (Repro_bench.Diff.load old_path, Repro_bench.Diff.load new_path) with
-    | Error msg, _ | _, Error msg -> `Error (false, msg)
-    | Ok old_records, Ok new_records ->
-        let report =
-          Repro_bench.Diff.diff ~steps_tol:(pct steps_tol) ~wall_tol:(pct wall_tol)
-            ~old_records ~new_records ()
-        in
-        Format.printf "%a" Repro_bench.Diff.pp_report report;
-        if report.Repro_bench.Diff.comparisons = [] then
-          `Error (false, "no overlapping records between the two artifacts")
-        else if report.Repro_bench.Diff.failures > 0 then begin
-          Format.printf "bench-diff: FAIL@.";
-          exit 1
-        end
-        else begin
-          Format.printf "bench-diff: OK@.";
-          `Ok ()
-        end
+  let diff old_path new_path steps_tol wall_tol require_identical =
+    if require_identical then
+      (* Schema-agnostic identity gate for parallel-campaign artifacts:
+         same seeds at different --jobs must agree in every field except
+         wall time. Works on BENCH_repro.json and CHAOS_repro.json. *)
+      match
+        (Repro_bench.Diff.load_json old_path, Repro_bench.Diff.load_json new_path)
+      with
+      | Error msg, _ | _, Error msg -> `Error (false, msg)
+      | Ok old_json, Ok new_json -> (
+          match Repro_bench.Diff.first_divergence old_json new_json with
+          | None ->
+              Format.printf "bench-diff: IDENTICAL (ignoring wall_ns)@.";
+              `Ok ()
+          | Some divergence ->
+              Format.printf "artifacts differ at %s@." divergence;
+              Format.printf "bench-diff: FAIL@.";
+              exit 1)
+    else
+      let pct p = float_of_int p /. 100.0 in
+      match (Repro_bench.Diff.load old_path, Repro_bench.Diff.load new_path) with
+      | Error msg, _ | _, Error msg -> `Error (false, msg)
+      | Ok old_records, Ok new_records ->
+          let report =
+            Repro_bench.Diff.diff ~steps_tol:(pct steps_tol) ~wall_tol:(pct wall_tol)
+              ~old_records ~new_records ()
+          in
+          Format.printf "%a" Repro_bench.Diff.pp_report report;
+          if report.Repro_bench.Diff.comparisons = [] then
+            `Error (false, "no overlapping records between the two artifacts")
+          else if report.Repro_bench.Diff.failures > 0 then begin
+            Format.printf "bench-diff: FAIL@.";
+            exit 1
+          end
+          else begin
+            Format.printf "bench-diff: OK@.";
+            `Ok ()
+          end
   in
   let old_arg =
     Arg.(
@@ -375,47 +360,31 @@ let bench_diff_cmd =
              machines; the smoke gate passes 400 to only catch catastrophic \
              slowdowns deterministically.")
   in
+  let require_identical_arg =
+    Arg.(
+      value & flag
+      & info [ "require-identical" ]
+          ~doc:
+            "Identity mode: strip every wall_ns field from both artifacts and fail on \
+             any other difference (field drift, record order, missing/extra records). \
+             Schema-agnostic, so it also gates CHAOS_repro.json produced at different \
+             --jobs values.")
+  in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
          "Compare two BENCH_repro.json artifacts; exit 1 on steps/rounds/wall_ns \
-          regression beyond tolerance.")
-    Term.(ret (const diff $ old_arg $ new_arg $ steps_tol_arg $ wall_tol_arg))
+          regression beyond tolerance (or, with --require-identical, on any non-wall \
+          difference).")
+    Term.(
+      ret
+        (const diff $ old_arg $ new_arg $ steps_tol_arg $ wall_tol_arg
+       $ require_identical_arg))
 
 let chaos_cmd =
-  let injection_json (i : Chaos.injection) =
-    let opt_int = function Some v -> Metrics.Json.Int v | None -> Metrics.Json.Null in
-    Metrics.Json.Obj
-      [
-        ("round", Metrics.Json.Int i.Chaos.round);
-        ("nodes", Metrics.Json.List (List.map (fun v -> Metrics.Json.Int v) i.Chaos.nodes));
-        ("gap", opt_int i.Chaos.gap);
-        ("radius", opt_int i.Chaos.radius);
-        ("touched", Metrics.Json.Int i.Chaos.touched);
-      ]
-  in
-  let cell_json (algo, pname, dname, seed, n, m, c) =
-    Metrics.Json.Obj
-      [
-        ("algo", Metrics.Json.Str algo);
-        ("plan", Metrics.Json.Str pname);
-        ("sched", Metrics.Json.Str dname);
-        ("seed", Metrics.Json.Int seed);
-        ("n", Metrics.Json.Int n);
-        ("m", Metrics.Json.Int m);
-        ("base_rounds", Metrics.Json.Int c.c_base_rounds);
-        ("rounds", Metrics.Json.Int c.c_rounds);
-        ("steps", Metrics.Json.Int c.c_steps);
-        ("silent", Metrics.Json.Bool c.c_silent);
-        ("legal", Metrics.Json.Bool c.c_legal);
-        ("recovered", Metrics.Json.Bool c.c_recovered);
-        ("verdict", Metrics.Json.Str c.c_verdict);
-        ("max_bits", Metrics.Json.Int c.c_max_bits);
-        ("injections", Metrics.Json.List (List.map injection_json c.c_injections));
-      ]
-  in
+  let module Campaign = Repro_campaign.Campaign in
   let chaos family n seeds seed algos_s plans_s daemons_s max_rounds max_injections
-      stall_window cycle_repeats out =
+      stall_window cycle_repeats out jobs =
     let split s =
       String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
     in
@@ -438,66 +407,21 @@ let chaos_cmd =
                 match List.find_opt (fun a -> not (List.mem a algos)) algo_list with
                 | Some a -> `Error (false, Printf.sprintf "unknown algorithm %S" a)
                 | None ->
-                    let cells = ref [] in
-                    let failures = ref 0 in
-                    Format.printf
-                      "algo,plan,sched,seed,recovered,verdict,base_rounds,rounds,steps,injections@.";
-                    List.iter
-                      (fun algo ->
-                        List.iter
-                          (fun plan ->
-                            let pname = Fault.Plan.name plan in
-                            List.iter
-                              (fun (dname, sched) ->
-                                for s = 1 to seeds do
-                                  (* One seed pins the topology, the initial
-                                     configuration, every daemon pick and every
-                                     fault coin of the cell. *)
-                                  let rng =
-                                    Random.State.make
-                                      [| seed; Hashtbl.hash (algo, pname, dname); n; s |]
-                                  in
-                                  let g = gen rng ~n in
-                                  let c =
-                                    chaos_algo algo g sched rng ~plan ~max_rounds
-                                      ~max_injections ~stall_window ~cycle_repeats
-                                  in
-                                  if not c.c_recovered then incr failures;
-                                  Format.printf "%s,%s,%s,%d,%b,%s,%d,%d,%d,%d@." algo
-                                    pname dname s c.c_recovered c.c_verdict c.c_base_rounds
-                                    c.c_rounds c.c_steps (List.length c.c_injections);
-                                  cells :=
-                                    (algo, pname, dname, s, Graph.n g, Graph.m g, c)
-                                    :: !cells
-                                done)
-                              daemons)
-                          plans)
-                      algo_list;
-                    let cells = List.rev !cells in
+                    (* The matrix is farmed out cell-by-cell; cells come
+                       back in canonical order, so the CSV listing and the
+                       artifact are byte-identical at any --jobs. *)
+                    let cells =
+                      Pool.with_pool ~jobs (fun pool ->
+                          Campaign.run_matrix ~pool ~gen ~n ~seeds ~seed_base:seed
+                            ~algos:algo_list ~plans ~daemons ~max_rounds ~max_injections
+                            ~stall_window ~cycle_repeats ())
+                    in
+                    Format.printf "%s@." Campaign.csv_header;
+                    List.iter (fun c -> Format.printf "%s@." (Campaign.csv_row c)) cells;
+                    let failures = Campaign.failed cells in
                     let json =
-                      Metrics.Json.Obj
-                        [
-                          ( "meta",
-                            Metrics.Json.Obj
-                              [
-                                ("experiment", Metrics.Json.Str "E8-chaos");
-                                ("graph", Metrics.Json.Str family);
-                                ("n", Metrics.Json.Int n);
-                                ("seeds", Metrics.Json.Int seeds);
-                                ("seed_base", Metrics.Json.Int seed);
-                                ("max_rounds", Metrics.Json.Int max_rounds);
-                                ("max_injections", Metrics.Json.Int max_injections);
-                              ] );
-                          ("cells", Metrics.Json.List (List.map cell_json cells));
-                          ( "summary",
-                            Metrics.Json.Obj
-                              [
-                                ("cells", Metrics.Json.Int (List.length cells));
-                                ( "recovered",
-                                  Metrics.Json.Int (List.length cells - !failures) );
-                                ("failed", Metrics.Json.Int !failures);
-                              ] );
-                        ]
+                      Campaign.campaign_json ~family ~n ~seeds ~seed_base:seed ~max_rounds
+                        ~max_injections cells
                     in
                     let oc = open_out out in
                     Fun.protect
@@ -505,9 +429,9 @@ let chaos_cmd =
                       (fun () -> Metrics.Json.to_channel oc json);
                     Format.printf "chaos: %d cells, %d recovered, %d failed -> %s@."
                       (List.length cells)
-                      (List.length cells - !failures)
-                      !failures out;
-                    if !failures > 0 then begin
+                      (List.length cells - failures)
+                      failures out;
+                    if failures > 0 then begin
                       Format.printf "chaos: FAIL@.";
                       exit 1
                     end;
@@ -578,7 +502,7 @@ let chaos_cmd =
       ret
         (const chaos $ graph_arg $ n_arg $ seeds_arg $ seed_arg $ algos_arg $ plans_arg
        $ daemons_arg $ max_rounds_arg $ max_injections_arg $ stall_window_arg
-       $ cycle_repeats_arg $ out_arg))
+       $ cycle_repeats_arg $ out_arg $ jobs_arg))
 
 let list_cmd =
   let list () =

@@ -1,0 +1,181 @@
+open Repro_graph
+open Repro_runtime
+open Repro_core
+open Repro_baselines
+module Json = Metrics.Json
+
+type cell = {
+  algo : string;
+  plan_name : string;
+  sched_name : string;
+  seed_index : int;
+  n : int;
+  m : int;
+  base_rounds : int;
+  rounds : int;
+  steps : int;
+  silent : bool;
+  legal : bool;
+  recovered : bool;
+  verdict : string;
+  max_bits : int;
+  injections : Chaos.injection list;
+}
+
+let known_algos =
+  [
+    "bfs"; "mst"; "mdst"; "spt"; "adhoc-bfs"; "compact-mst"; "fullinfo-mst";
+    "fullinfo-mdst";
+  ]
+
+let run_episode algo g sched rng ~plan ~max_rounds ~max_injections ~stall_window
+    ~cycle_repeats =
+  let generic (type s) (module P : Protocol.S with type state = s) ~watch_phi =
+    let module C = Chaos.Make (P) in
+    let e =
+      C.run_episode ~max_rounds ~max_injections ~watch_phi ~stall_window ~cycle_repeats g
+        sched rng plan
+    in
+    ( e.C.base_rounds,
+      e.C.rounds,
+      e.C.steps,
+      e.C.silent,
+      e.C.legal,
+      e.C.recovered,
+      Watchdog.verdict_name e.C.verdict,
+      e.C.max_bits,
+      e.C.injections )
+  in
+  (* [watch_phi] only where the potential is cheap (totals over the
+     configuration); the MST potential runs the certification prover. *)
+  match algo with
+  | "bfs" -> generic (module Bfs_builder.P) ~watch_phi:true
+  | "mst" -> generic (module Mst_builder.P) ~watch_phi:false
+  | "mdst" -> generic (module Mdst_builder.P) ~watch_phi:false
+  | "spt" -> generic (module Spt_builder.P) ~watch_phi:true
+  | "adhoc-bfs" -> generic (module Adhoc_bfs.P) ~watch_phi:false
+  | "compact-mst" -> generic (module Compact_mst.P) ~watch_phi:false
+  | "fullinfo-mst" -> generic (module Fullinfo.Mst_instance.P) ~watch_phi:false
+  | "fullinfo-mdst" -> generic (module Fullinfo.Mdst_instance.P) ~watch_phi:false
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
+let run_matrix ~pool ~gen ~n ~seeds ~seed_base ~algos ~plans ~daemons ~max_rounds
+    ~max_injections ~stall_window ~cycle_repeats () =
+  (* The cell list is enumerated sequentially in canonical order; the
+     pool maps over it and hands results back in the same order, so
+     the artifact is independent of worker interleaving. *)
+  let specs =
+    List.concat_map
+      (fun algo ->
+        List.concat_map
+          (fun plan ->
+            let plan_name = Fault.Plan.name plan in
+            List.concat_map
+              (fun (sched_name, sched) ->
+                List.init seeds (fun i -> (algo, plan, plan_name, sched_name, sched, i + 1)))
+              daemons)
+          plans)
+      algos
+  in
+  Pool.map pool
+    (fun (algo, plan, plan_name, sched_name, sched, s) ->
+      (* One seed pins the topology, the initial configuration, every
+         daemon pick and every fault coin of the cell. *)
+      let rng =
+        Random.State.make [| seed_base; Hashtbl.hash (algo, plan_name, sched_name); n; s |]
+      in
+      let g = gen rng ~n in
+      let ( base_rounds,
+            rounds,
+            steps,
+            silent,
+            legal,
+            recovered,
+            verdict,
+            max_bits,
+            injections ) =
+        run_episode algo g sched rng ~plan ~max_rounds ~max_injections ~stall_window
+          ~cycle_repeats
+      in
+      {
+        algo;
+        plan_name;
+        sched_name;
+        seed_index = s;
+        n = Graph.n g;
+        m = Graph.m g;
+        base_rounds;
+        rounds;
+        steps;
+        silent;
+        legal;
+        recovered;
+        verdict;
+        max_bits;
+        injections;
+      })
+    specs
+
+let failed cells = List.length (List.filter (fun c -> not c.recovered) cells)
+
+let csv_header = "algo,plan,sched,seed,recovered,verdict,base_rounds,rounds,steps,injections"
+
+let csv_row c =
+  Printf.sprintf "%s,%s,%s,%d,%b,%s,%d,%d,%d,%d" c.algo c.plan_name c.sched_name
+    c.seed_index c.recovered c.verdict c.base_rounds c.rounds c.steps
+    (List.length c.injections)
+
+let injection_json (i : Chaos.injection) =
+  let opt_int = function Some v -> Json.Int v | None -> Json.Null in
+  Json.Obj
+    [
+      ("round", Json.Int i.Chaos.round);
+      ("nodes", Json.List (List.map (fun v -> Json.Int v) i.Chaos.nodes));
+      ("gap", opt_int i.Chaos.gap);
+      ("radius", opt_int i.Chaos.radius);
+      ("touched", Json.Int i.Chaos.touched);
+    ]
+
+let cell_json c =
+  Json.Obj
+    [
+      ("algo", Json.Str c.algo);
+      ("plan", Json.Str c.plan_name);
+      ("sched", Json.Str c.sched_name);
+      ("seed", Json.Int c.seed_index);
+      ("n", Json.Int c.n);
+      ("m", Json.Int c.m);
+      ("base_rounds", Json.Int c.base_rounds);
+      ("rounds", Json.Int c.rounds);
+      ("steps", Json.Int c.steps);
+      ("silent", Json.Bool c.silent);
+      ("legal", Json.Bool c.legal);
+      ("recovered", Json.Bool c.recovered);
+      ("verdict", Json.Str c.verdict);
+      ("max_bits", Json.Int c.max_bits);
+      ("injections", Json.List (List.map injection_json c.injections));
+    ]
+
+let campaign_json ~family ~n ~seeds ~seed_base ~max_rounds ~max_injections cells =
+  Json.Obj
+    [
+      ( "meta",
+        Json.Obj
+          [
+            ("experiment", Json.Str "E8-chaos");
+            ("graph", Json.Str family);
+            ("n", Json.Int n);
+            ("seeds", Json.Int seeds);
+            ("seed_base", Json.Int seed_base);
+            ("max_rounds", Json.Int max_rounds);
+            ("max_injections", Json.Int max_injections);
+          ] );
+      ("cells", Json.List (List.map cell_json cells));
+      ( "summary",
+        Json.Obj
+          [
+            ("cells", Json.Int (List.length cells));
+            ("recovered", Json.Int (List.length cells - failed cells));
+            ("failed", Json.Int (failed cells));
+          ] );
+    ]

@@ -1,0 +1,74 @@
+(** The chaos campaign matrix — builders × fault plans × daemons ×
+    seeds — as a library.
+
+    Extracted from the CLI so the same cells can be driven by
+    [repro_cli chaos], the [@chaos] smoke alias, and the pool
+    determinism tests. Every cell is hermetic: its [Random.State] is
+    derived from [(seed_base, algo, plan, daemon, n, seed_index)] and
+    pins the topology, the adversarial initial configuration, every
+    daemon pick and every fault coin — which is what lets {!run_matrix}
+    farm cells out to a {!Repro_runtime.Pool} and still return a
+    byte-identical artifact at any [--jobs]. *)
+
+(** One finished cell, in plain data (functor-free). *)
+type cell = {
+  algo : string;
+  plan_name : string;
+  sched_name : string;
+  seed_index : int;  (** 1-based seed number within the cell's sweep *)
+  n : int;
+  m : int;
+  base_rounds : int;
+  rounds : int;
+  steps : int;
+  silent : bool;
+  legal : bool;
+  recovered : bool;
+  verdict : string;
+  max_bits : int;
+  injections : Repro_runtime.Chaos.injection list;
+}
+
+(** Algorithms the matrix can dispatch ([Protocol.S] implementations):
+    the CLI validates both its [run] and [chaos] arguments against
+    this list. *)
+val known_algos : string list
+
+(** Run the full matrix on the pool; cells come back in canonical order
+    (algorithms, then plans, then daemons, then seed indices, each in
+    the order given) regardless of worker interleaving.
+
+    @raise Failure on an algorithm name outside {!known_algos}. *)
+val run_matrix :
+  pool:Repro_runtime.Pool.t ->
+  gen:(Random.State.t -> n:int -> Repro_graph.Graph.t) ->
+  n:int ->
+  seeds:int ->
+  seed_base:int ->
+  algos:string list ->
+  plans:Repro_runtime.Fault.Plan.t list ->
+  daemons:(string * Repro_runtime.Scheduler.t) list ->
+  max_rounds:int ->
+  max_injections:int ->
+  stall_window:int ->
+  cycle_repeats:int ->
+  unit ->
+  cell list
+
+val failed : cell list -> int
+
+val csv_header : string
+val csv_row : cell -> string
+
+(** The CHAOS_repro.json document: [{meta, cells, summary}], field
+    order pinned (the smoke gate compares artifacts byte-for-byte
+    across [--jobs]). *)
+val campaign_json :
+  family:string ->
+  n:int ->
+  seeds:int ->
+  seed_base:int ->
+  max_rounds:int ->
+  max_injections:int ->
+  cell list ->
+  Repro_runtime.Metrics.Json.t

@@ -482,20 +482,34 @@ module Make (P : Protocol.S) = struct
             (-1) enabled
       | Scheduler.Greedy_max_phi | Scheduler.Greedy_min_phi ->
           (* Same trial evaluation as [run_reference], but the candidate's
-             move comes from the cache. The probe mutates [states] and
-             restores it before anything reads a scratch view, so the
-             version counters stay honest. Strict-improvement over the
-             sorted enumeration = ties to the smallest id. *)
+             move comes from the cache, and the base configuration's Φ is
+             computed at most once per pick: a candidate whose cached move
+             equals its current register leaves the configuration
+             identical, so its score IS the base score — no O(n) potential
+             walk. (Enabled-but-unchanged registers are common during
+             recovery, which is what made the chaos drag table quadratic
+             in enabled-set size.) The probe mutates [states] and restores
+             it before anything reads a scratch view, so the version
+             counters stay honest. Strict-improvement over the sorted
+             enumeration = ties to the smallest id. *)
           let maximize = strategy = Scheduler.Greedy_max_phi in
+          let base_phi =
+            lazy (match P.potential g states with Some p -> p | None -> max_int)
+          in
           let best =
             List.fold_left
               (fun best v ->
                 let s = Option.get moves.(v) in
                 let old = states.(v) in
-                states.(v) <- s;
-                let phi = P.potential g states in
-                states.(v) <- old;
-                let sc = match phi with Some p -> p | None -> max_int in
+                let sc =
+                  if s == old || P.equal_state s old then Lazy.force base_phi
+                  else begin
+                    states.(v) <- s;
+                    let phi = P.potential g states in
+                    states.(v) <- old;
+                    match phi with Some p -> p | None -> max_int
+                  end
+                in
                 match best with
                 | None -> Some (v, sc)
                 | Some (_, bs) ->

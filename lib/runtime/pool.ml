@@ -1,0 +1,177 @@
+(* Work-distributing domain pool. See pool.mli for the contract.
+
+   One batch at a time: [map] publishes a batch (task array + atomic
+   claim cursor + atomic completion count) under a generation counter,
+   wakes the workers, and joins in as the last worker itself. Tasks
+   write into per-index result slots, so no ordering information ever
+   depends on which domain ran what; the submitter reads the slots back
+   in index order. A task never lets an exception escape — it parks
+   [(exn, backtrace)] in its slot and the submitter re-raises the first
+   failure in index order after the whole batch has drained (matching
+   what sequential [List.map] would have raised first). *)
+
+type batch = {
+  tasks : (unit -> unit) array;  (* task [i] fills result slot [i] *)
+  cursor : int Atomic.t;  (* next unclaimed index *)
+  left : int Atomic.t;  (* tasks not yet completed *)
+}
+
+type t = {
+  n_jobs : int;
+  lock : Mutex.t;
+  work_ready : Condition.t;  (* workers sleep here between batches *)
+  batch_done : Condition.t;  (* the submitter sleeps here *)
+  mutable generation : int;  (* bumped per published batch *)
+  mutable batch : batch option;
+  mutable busy : bool;  (* a [map] is in flight *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* The nested-use guard: set while a domain is running pool tasks (the
+   workers always; the submitter while it helps drain its own batch), so
+   a task that itself calls [map] degrades to sequential [List.map]
+   instead of deadlocking the fixed worker set. *)
+let inside_pool = Domain.DLS.new_key (fun () -> ref false)
+let entered () = Domain.DLS.get inside_pool
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let drain t b =
+  let len = Array.length b.tasks in
+  let flag = entered () in
+  let outer = !flag in
+  flag := true;
+  let rec go () =
+    let i = Atomic.fetch_and_add b.cursor 1 in
+    if i < len then begin
+      b.tasks.(i) ();
+      (* Completion count, not cursor position, decides doneness: a
+         claimed-but-running task elsewhere must keep the submitter
+         waiting. *)
+      if Atomic.fetch_and_add b.left (-1) = 1 then begin
+        Mutex.lock t.lock;
+        Condition.broadcast t.batch_done;
+        Mutex.unlock t.lock
+      end;
+      go ()
+    end
+  in
+  go ();
+  flag := outer
+
+let rec worker_loop t last_gen =
+  Mutex.lock t.lock;
+  while (not t.closed) && t.generation = last_gen do
+    Condition.wait t.work_ready t.lock
+  done;
+  if t.closed then Mutex.unlock t.lock
+  else begin
+    let gen = t.generation in
+    let b = t.batch in
+    Mutex.unlock t.lock;
+    (* [b] may already be drained or even retired ([None]) if this worker
+       woke late; [drain] then claims nothing and we just wait for the
+       next generation. *)
+    (match b with Some b -> drain t b | None -> ());
+    worker_loop t gen
+  end
+
+let create ?jobs () =
+  let n_jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let t =
+    {
+      n_jobs;
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      generation = 0;
+      batch = None;
+      busy = false;
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (n_jobs - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            (entered ()) := true;
+            worker_loop t 0));
+  t
+
+let jobs t = t.n_jobs
+
+let map (type a b) t (f : a -> b) (xs : a list) : b list =
+  let sequential () = List.map f xs in
+  match xs with
+  | [] | [ _ ] ->
+      if t.closed then invalid_arg "Pool.map: pool is shut down";
+      sequential ()
+  | _ ->
+      if t.closed then invalid_arg "Pool.map: pool is shut down";
+      if t.n_jobs = 1 || !(entered ()) then sequential ()
+      else begin
+        let items = Array.of_list xs in
+        let n = Array.length items in
+        let slots : (b, exn * Printexc.raw_backtrace) result option array =
+          Array.make n None
+        in
+        let tasks =
+          Array.init n (fun i () ->
+              slots.(i) <-
+                Some
+                  (match f items.(i) with
+                  | v -> Ok v
+                  | exception e -> Error (e, Printexc.get_raw_backtrace ())))
+        in
+        let b = { tasks; cursor = Atomic.make 0; left = Atomic.make n } in
+        Mutex.lock t.lock;
+        if t.closed then begin
+          Mutex.unlock t.lock;
+          invalid_arg "Pool.map: pool is shut down"
+        end;
+        if t.busy then begin
+          (* Another domain's [map] holds the workers; don't interleave
+             two batches on one pool — degrade to sequential. *)
+          Mutex.unlock t.lock;
+          sequential ()
+        end
+        else begin
+          t.busy <- true;
+          t.batch <- Some b;
+          t.generation <- t.generation + 1;
+          Condition.broadcast t.work_ready;
+          Mutex.unlock t.lock;
+          drain t b;
+          Mutex.lock t.lock;
+          while Atomic.get b.left > 0 do
+            Condition.wait t.batch_done t.lock
+          done;
+          t.batch <- None;
+          t.busy <- false;
+          Mutex.unlock t.lock;
+          (* First failure in index order wins, as in sequential map. *)
+          Array.iter
+            (function
+              | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+              | Some (Ok _) | None -> ())
+            slots;
+          List.init n (fun i ->
+              match slots.(i) with Some (Ok v) -> v | _ -> assert false)
+        end
+      end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.closed then Mutex.unlock t.lock
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
