@@ -21,19 +21,21 @@ module E = Graph.Edge
    the BENCH_repro.json artifact (the smoke gate writes to a declared
    dune target); [--jobs N] sets the worker-domain count for the
    independent experiment cells (default: the machine's recommended
-   domain count; 1 = the exact sequential path); remaining arguments
-   select experiments. *)
-let seed_base, out_path, jobs, exp_args =
-  let rec go seed out jobs acc = function
-    | [] -> (seed, out, jobs, List.rev acc)
+   domain count; 1 = the exact sequential path); [--profile] attaches
+   engine profiling counters to every recorded engine run and prints
+   them per cell; remaining arguments select experiments. *)
+let seed_base, out_path, jobs, profiling, exp_args =
+  let rec go seed out jobs prof acc = function
+    | [] -> (seed, out, jobs, prof, List.rev acc)
     | "--seed" :: v :: rest ->
-        go (match int_of_string_opt v with Some s -> s | None -> seed) out jobs acc rest
-    | "--out" :: v :: rest -> go seed v jobs acc rest
+        go (match int_of_string_opt v with Some s -> s | None -> seed) out jobs prof acc rest
+    | "--out" :: v :: rest -> go seed v jobs prof acc rest
     | "--jobs" :: v :: rest ->
-        go seed out (match int_of_string_opt v with Some j -> j | None -> jobs) acc rest
-    | a :: rest -> go seed out jobs (a :: acc) rest
+        go seed out (match int_of_string_opt v with Some j -> j | None -> jobs) prof acc rest
+    | "--profile" :: rest -> go seed out jobs true acc rest
+    | a :: rest -> go seed out jobs prof (a :: acc) rest
   in
-  go 0xE57 "BENCH_repro.json" (Pool.default_jobs ()) []
+  go 0xE57 "BENCH_repro.json" (Pool.default_jobs ()) false []
     (Array.to_list Sys.argv |> List.tl)
 
 let pool = Pool.create ~jobs ()
@@ -69,6 +71,15 @@ let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+
+(* --profile support: one fresh counter set per engine run, printed as an
+   extra line under the cell's table row (buffered with the row, so the
+   output stays byte-identical at any --jobs). *)
+let new_profile () = if profiling then Some (Profile.create ()) else None
+
+let pp_profile ppf = function
+  | Some p -> Format.fprintf ppf "       profile: %a@." Profile.pp p
+  | None -> ()
 
 (* The campaign-cell driver: one row per item, farmed out to the domain
    pool. Each row is hermetic (its RNG comes from [rng_of] inside the
@@ -117,9 +128,11 @@ let e1 () =
   par_rows [ 8; 12; 16; 24; 32; 48 ] (fun ppf n ->
       let rng = rng_of (100 + n) in
       let g = Generators.random_connected rng ~n ~m:(2 * n) in
+      let profile = new_profile () in
       let r, wall_ns =
         timed (fun () ->
-            ME.run ~max_rounds:30_000 g Scheduler.Synchronous rng ~init:(ME.initial g))
+            ME.run ~max_rounds:30_000 ?profile g Scheduler.Synchronous rng
+              ~init:(ME.initial g))
       in
       let weight, is_mst =
         match Mst_builder.tree_of g r.ME.states with
@@ -131,6 +144,7 @@ let e1 () =
         (log2c n * log2c n)
         weight is_mst
         (if r.ME.silent then "" else "  (round budget hit)");
+      pp_profile ppf profile;
       [
         record ~exp:"E1" ~algo:"mst" ~n ~rounds:r.ME.rounds ~steps:r.ME.steps
           ~max_bits:r.ME.max_bits ~wall_ns;
@@ -163,8 +177,9 @@ let e2 () =
       let rng = rng_of (200 + i) in
       let g = gen rng in
       let n = Graph.n g in
+      let profile = new_profile () in
       let r, wall_ns =
-        timed (fun () -> DE.run g Scheduler.Synchronous rng ~init:(DE.initial g))
+        timed (fun () -> DE.run ?profile g Scheduler.Synchronous rng ~init:(DE.initial g))
       in
       let deg =
         match Mdst_builder.tree_of g r.DE.states with
@@ -178,6 +193,7 @@ let e2 () =
         (if opt >= 0 then string_of_int opt else "?")
         (opt < 0 || deg <= opt + 1)
         r.DE.silent;
+      pp_profile ppf profile;
       [
         record ~exp:"E2" ~algo:"mdst" ~n ~rounds:r.DE.rounds ~steps:r.DE.steps
           ~max_bits:r.DE.max_bits ~wall_ns;
@@ -293,14 +309,17 @@ let e5 () =
   par_rows [ 16; 32; 64; 128; 256 ] (fun ppf n ->
       let rng = rng_of (500 + n) in
       let g = Generators.gnp rng ~n ~p:(4.0 /. float_of_int n) in
+      let profile = new_profile () in
       let r, r_ns =
-        timed (fun () -> BE.run g Scheduler.Synchronous rng ~init:(BE.adversarial rng g))
+        timed (fun () ->
+            BE.run ?profile g Scheduler.Synchronous rng ~init:(BE.adversarial rng g))
       in
       let a, a_ns =
         timed (fun () -> AE.run g Scheduler.Synchronous rng ~init:(AE.adversarial rng g))
       in
       Format.fprintf ppf "%6d | %8d %6d %6b | %9d %6d %6b@." n r.BE.rounds r.BE.max_bits
         r.BE.legal a.AE.rounds a.AE.max_bits a.AE.legal;
+      pp_profile ppf profile;
       [
         record ~exp:"E5" ~algo:"bfs" ~n ~rounds:r.BE.rounds ~steps:r.BE.steps
           ~max_bits:r.BE.max_bits ~wall_ns:r_ns;
@@ -546,12 +565,15 @@ let e11 () =
   par_rows [ 16; 32; 64; 128 ] (fun ppf n ->
       let rng = rng_of (1100 + n) in
       let g = Generators.random_connected rng ~n ~m:(2 * n) in
+      let profile = new_profile () in
       let r, wall_ns =
-        timed (fun () -> SE.run g Scheduler.Synchronous rng ~init:(SE.adversarial rng g))
+        timed (fun () ->
+            SE.run ?profile g Scheduler.Synchronous rng ~init:(SE.adversarial rng g))
       in
       Format.fprintf ppf "%6d %8d %8d %8b %10d@." n r.SE.rounds r.SE.max_bits
         (Spt_builder.is_spt g r.SE.states)
         (Spt_builder.potential g r.SE.states);
+      pp_profile ppf profile;
       [
         record ~exp:"E11" ~algo:"spt" ~n ~rounds:r.SE.rounds ~steps:r.SE.steps
           ~max_bits:r.SE.max_bits ~wall_ns;

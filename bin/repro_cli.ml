@@ -33,41 +33,77 @@ let report o =
   (match o.verdict with Some v -> Format.printf "verdict      : %s@." v | None -> ());
   if o.note <> "" then Format.printf "result       : %s@." o.note
 
+let edges_json g =
+  Metrics.Json.List
+    (Array.to_list (Graph.edges g)
+    |> List.map (fun (e : Graph.Edge.t) ->
+           Metrics.Json.(List [ Int e.u; Int e.v; Int e.w ])))
+
 let run_algo algo g sched rng ~adversarial ~faults ~max_rounds ?(meta = []) ?metrics_out
     ?trace_out () =
   let generic (type s) (module P : Protocol.S with type state = s) ~note =
     let module E = Engine.Make (P) in
-    (* Each run gets fresh observers, so after fault injection the emitted
-       trajectory is the recovery run — the one under study. *)
-    let observed ~init =
+    (* One JSONL sink spans the whole invocation — initial run, --faults
+       injection (as Fault events), recovery run — so recovery moves'
+       cause chains reach back to the injection (see OBSERVABILITY.md).
+       Per-round Φ only where the potential is cheap. *)
+    let trace_oc = Option.map open_out trace_out in
+    let events =
+      Option.map
+        (fun oc ->
+          let sink = Events.stream ~record_phi:(List.mem algo [ "bfs"; "spt" ]) oc in
+          Events.meta sink (meta @ [ ("edges", edges_json g) ]);
+          sink)
+        trace_oc
+    in
+    (* Each run gets fresh telemetry and watchdog, so after fault injection
+       the emitted series is the recovery run — the one under study. *)
+    let observed ?init_causes ?(round_offset = 0) ?(step_offset = 0) ~init () =
       let telemetry = Option.map (fun _ -> Telemetry.create ()) metrics_out in
-      let trace = Option.map (fun _ -> Trace.create ~capacity:1_000_000 ()) trace_out in
       (* Observe-only watchdog: classify a non-silent exit (livelock vs
          bare exhaustion) instead of just reporting the hit limit. *)
       let wd = Watchdog.create () in
       let on_round round states =
-        (match trace with Some tr -> Trace.on_round tr round states | None -> ());
         Watchdog.observe_round wd ~round ~hash:(Watchdog.config_hash states) ~phi:None
+          ~snap:(fun () -> Marshal.to_string states [])
       in
       let r =
-        E.run ~max_rounds ?telemetry
-          ?on_step:(Option.map (fun tr -> Trace.on_step tr P.pp_state) trace)
-          ~on_round g sched rng ~init
+        E.run ~max_rounds ?telemetry ~on_round ?events ?init_causes ~round_offset
+          ~step_offset g sched rng ~init
       in
-      (r, telemetry, trace, wd)
+      (r, telemetry, wd)
     in
     let init = if adversarial then E.adversarial rng g else E.initial g in
-    let first = observed ~init in
+    let first = observed ~init () in
     let faults_skipped = ref false in
-    let r, telemetry, trace, wd =
-      let r, _, _, _ = first in
+    let r, telemetry, wd =
+      let r, _, _ = first in
       if faults > 0 then
         if r.E.silent then begin
+          (* Pick first, corrupt second (same RNG stream as Fault.corrupt)
+             so the fault events name the nodes actually hit and the
+             recovery run's initially-enabled nodes can be attributed. *)
+          let picked = Fault.pick_nodes rng ~n:(Graph.n g) ~k:faults in
           let corrupted =
-            Fault.corrupt rng ~random_state:P.random_state g r.E.states ~k:faults
+            Fault.corrupt_nodes rng ~random_state:P.random_state g r.E.states picked
+          in
+          let init_causes =
+            Option.map
+              (fun sink ->
+                let eids =
+                  List.map
+                    (fun v -> (v, Events.emit_fault sink ~node:v ~round:r.E.rounds))
+                    picked
+                in
+                fun v ->
+                  List.filter_map
+                    (fun (u, e) -> if u = v || Graph.has_edge g u v then Some e else None)
+                    eids)
+              events
           in
           Format.printf "(injected %d faults after stabilization)@." faults;
-          observed ~init:corrupted
+          observed ?init_causes ~round_offset:r.E.rounds ~step_offset:r.E.steps
+            ~init:corrupted ()
         end
         else begin
           faults_skipped := true;
@@ -84,13 +120,10 @@ let run_algo algo g sched rng ~adversarial ~faults ~max_rounds ?(meta = []) ?met
         Telemetry.write_json ~meta path tel;
         Format.printf "metrics      : written to %s (%a)@." path Telemetry.pp tel
     | _ -> ());
-    (match (trace_out, trace) with
-    | Some path, Some tr ->
-        let oc = open_out path in
-        output_string oc (Trace.to_csv tr);
-        close_out oc;
-        Format.printf "trace        : %d of %d events written to %s@." (Trace.retained tr)
-          (Trace.total tr) path
+    (match (trace_out, events) with
+    | Some path, Some sink ->
+        Option.iter close_out trace_oc;
+        Format.printf "trace        : %d events written to %s@." (Events.total sink) path
     | _ -> ());
     {
       algo;
@@ -205,7 +238,11 @@ let trace_out_arg =
     value
     & opt (some string) None
     & info [ "trace-out" ] ~docv:"FILE"
-        ~doc:"Record the per-write execution trace and write it as CSV to $(docv).")
+        ~doc:
+          "Stream the structured event trace (one JSON object per line: moves with \
+           rule tags and causal provenance, fault injections, round boundaries) to \
+           $(docv); consume with $(b,repro-cli explain). Schema in OBSERVABILITY.md. \
+           Tracing draws no randomness, so the run's outcome is unchanged.")
 
 let run_cmd =
   let run algo family n seed sched adversarial faults max_rounds metrics_out trace_out =
@@ -384,7 +421,7 @@ let bench_diff_cmd =
 let chaos_cmd =
   let module Campaign = Repro_campaign.Campaign in
   let chaos family n seeds seed algos_s plans_s daemons_s max_rounds max_injections
-      stall_window cycle_repeats out jobs =
+      stall_window cycle_repeats out jobs trace_dir =
     let split s =
       String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
     in
@@ -410,12 +447,19 @@ let chaos_cmd =
                     (* The matrix is farmed out cell-by-cell; cells come
                        back in canonical order, so the CSV listing and the
                        artifact are byte-identical at any --jobs. *)
+                    (match trace_dir with
+                    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+                    | _ -> ());
                     let cells =
                       Pool.with_pool ~jobs (fun pool ->
                           Campaign.run_matrix ~pool ~gen ~n ~seeds ~seed_base:seed
                             ~algos:algo_list ~plans ~daemons ~max_rounds ~max_injections
-                            ~stall_window ~cycle_repeats ())
+                            ~stall_window ~cycle_repeats ?trace_dir ())
                     in
+                    (match trace_dir with
+                    | Some dir ->
+                        Format.printf "traces: one JSONL file per cell in %s@." dir
+                    | None -> ());
                     Format.printf "%s@." Campaign.csv_header;
                     List.iter (fun c -> Format.printf "%s@." (Campaign.csv_row c)) cells;
                     let failures = Campaign.failed cells in
@@ -493,6 +537,18 @@ let chaos_cmd =
       value & opt string "CHAOS_repro.json"
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Campaign artifact path.")
   in
+  let trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"DIR"
+          ~doc:
+            "Stream one JSONL event trace per cell into $(docv) (created if missing), \
+             named ALGO__PLAN__SCHED__sSEED.jsonl; every recovery move carries causal \
+             provenance back to its fault injection (see OBSERVABILITY.md, \
+             $(b,repro-cli explain)). Tracing draws no randomness: the campaign \
+             artifact is byte-identical with or without it.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -502,7 +558,119 @@ let chaos_cmd =
       ret
         (const chaos $ graph_arg $ n_arg $ seeds_arg $ seed_arg $ algos_arg $ plans_arg
        $ daemons_arg $ max_rounds_arg $ max_injections_arg $ stall_window_arg
-       $ cycle_repeats_arg $ out_arg $ jobs_arg))
+       $ cycle_repeats_arg $ out_arg $ jobs_arg $ trace_dir_arg))
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let explain_cmd =
+  let explain trace_file html top =
+    match Explain.parse (slurp trace_file) with
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" trace_file msg)
+    | Ok t ->
+        let report = Explain.analyze ~top t in
+        print_string (Explain.to_text report);
+        (match html with
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Explain.to_html report));
+            Format.printf "html: written to %s@." path
+        | None -> ());
+        `Ok ()
+  in
+  let trace_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL event trace, from $(b,run --trace-out) or $(b,chaos --trace-out).")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:"Also write the report as a self-contained HTML page to $(docv).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"How many hot nodes to list (default 10).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Render a convergence narrative from an event trace: per-rule move breakdown, \
+          Φ milestones, hot nodes, activation-DAG shape, and one causal-cone summary \
+          per fault injection.")
+    Term.(ret (const explain $ trace_file_arg $ html_arg $ top_arg))
+
+let validate_cmd =
+  let validate file kind =
+    let contents = slurp file in
+    let kind =
+      match kind with
+      | `Auto -> (
+          match Schema.sniff contents with
+          | Some k -> Ok k
+          | None ->
+              Error
+                "cannot sniff the artifact kind (no ev/experiments/cells field); pass \
+                 --kind")
+      | (`Bench | `Chaos | `Trace) as k -> Ok k
+    in
+    match kind with
+    | Error msg -> `Error (false, msg)
+    | Ok k -> (
+        let kind_name =
+          match k with `Bench -> "bench" | `Chaos -> "chaos" | `Trace -> "trace"
+        in
+        let result =
+          match k with
+          | `Trace -> Schema.validate_trace contents
+          | (`Bench | `Chaos) as k -> (
+              match Metrics.Json.of_string contents with
+              | None -> Error "not valid JSON"
+              | Some j -> (
+                  match k with
+                  | `Bench -> Schema.validate_bench j
+                  | `Chaos -> Schema.validate_chaos j))
+        in
+        match result with
+        | Ok count ->
+            Format.printf "validate: OK (%s, %d records)@." kind_name count;
+            `Ok ()
+        | Error msg ->
+            Format.printf "validate: FAIL (%s): %s@." kind_name msg;
+            exit 1)
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"BENCH_repro.json, CHAOS_repro.json, or a JSONL event trace.")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("auto", `Auto); ("bench", `Bench); ("chaos", `Chaos); ("trace", `Trace) ])
+          `Auto
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Artifact kind: $(docv) is auto, bench, chaos or trace.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Validate a committed artifact or event trace against its schema; exit 1 on \
+          the first violation.")
+    Term.(ret (const validate $ file_arg $ kind_arg))
 
 let list_cmd =
   let list () =
@@ -522,4 +690,7 @@ let () =
         "Silent self-stabilizing constrained spanning tree constructions (Blin & \
          Fraigniaud, ICDCS 2015)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; chaos_cmd; bench_diff_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; chaos_cmd; bench_diff_cmd; explain_cmd; validate_cmd; list_cmd ]))

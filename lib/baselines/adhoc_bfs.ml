@@ -73,6 +73,9 @@ module P = struct
         total := !total + abs (dv - min d.(v) n))
       sts;
     Some !total
+
+  let classify =
+    Some (fun old fresh -> if old.parent <> fresh.parent then "reparent" else "dist")
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

@@ -126,6 +126,13 @@ module P = struct
     if Tree.check_parents ~root:0 parent then
       Some (Tree.weight (Tree.of_parents ~root:0 parent) g - Mst.mst_weight g)
     else None
+
+  let classify =
+    Some
+      (fun old fresh ->
+        if old.parent <> fresh.parent then "merge"
+        else if old.moe <> fresh.moe then "moe"
+        else "frag-repair")
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

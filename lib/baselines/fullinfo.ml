@@ -149,6 +149,13 @@ module Make (T : TASK) : INSTANCE = struct
 
     (* Convergence is by info/plan waves, not potential descent. *)
     let potential _g _sts = None
+
+    let classify =
+      Some
+        (fun old fresh ->
+          if not (St_layer.equal old.st fresh.st) then "tree"
+          else if old.info <> fresh.info then "info"
+          else "plan")
   end
 
   module Engine = Repro_runtime.Engine.Make (P)

@@ -28,13 +28,18 @@ let known_algos =
     "fullinfo-mdst";
   ]
 
+(* Potential tracking (watchdog stall detector, per-round phi in event
+   traces) only where the potential is cheap; the MST potential runs the
+   certification prover. *)
+let cheap_phi = [ "bfs"; "spt" ]
+
 let run_episode algo g sched rng ~plan ~max_rounds ~max_injections ~stall_window
-    ~cycle_repeats =
+    ~cycle_repeats ?events () =
   let generic (type s) (module P : Protocol.S with type state = s) ~watch_phi =
     let module C = Chaos.Make (P) in
     let e =
-      C.run_episode ~max_rounds ~max_injections ~watch_phi ~stall_window ~cycle_repeats g
-        sched rng plan
+      C.run_episode ~max_rounds ~max_injections ~watch_phi ~stall_window ~cycle_repeats
+        ?events g sched rng plan
     in
     ( e.C.base_rounds,
       e.C.rounds,
@@ -46,8 +51,6 @@ let run_episode algo g sched rng ~plan ~max_rounds ~max_injections ~stall_window
       e.C.max_bits,
       e.C.injections )
   in
-  (* [watch_phi] only where the potential is cheap (totals over the
-     configuration); the MST potential runs the certification prover. *)
   match algo with
   | "bfs" -> generic (module Bfs_builder.P) ~watch_phi:true
   | "mst" -> generic (module Mst_builder.P) ~watch_phi:false
@@ -59,8 +62,22 @@ let run_episode algo g sched rng ~plan ~max_rounds ~max_injections ~stall_window
   | "fullinfo-mdst" -> generic (module Fullinfo.Mdst_instance.P) ~watch_phi:false
   | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
 
+(* Per-cell trace filenames embed the cell coordinates; plan names
+   contain '/' and '@', daemon names ':', so anything outside the
+   filename-safe alphabet collapses to '-'. *)
+let sanitize s =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-') as c -> c | _ -> '-')
+    s
+
+let edges_json g =
+  Json.List
+    (Array.to_list (Graph.edges g)
+    |> List.map (fun (e : Graph.Edge.t) ->
+           Json.List [ Json.Int e.u; Json.Int e.v; Json.Int e.w ]))
+
 let run_matrix ~pool ~gen ~n ~seeds ~seed_base ~algos ~plans ~daemons ~max_rounds
-    ~max_injections ~stall_window ~cycle_repeats () =
+    ~max_injections ~stall_window ~cycle_repeats ?trace_dir () =
   (* The cell list is enumerated sequentially in canonical order; the
      pool maps over it and hands results back in the same order, so
      the artifact is independent of worker interleaving. *)
@@ -85,6 +102,34 @@ let run_matrix ~pool ~gen ~n ~seeds ~seed_base ~algos ~plans ~daemons ~max_round
         Random.State.make [| seed_base; Hashtbl.hash (algo, plan_name, sched_name); n; s |]
       in
       let g = gen rng ~n in
+      (* When tracing, each cell streams to its own JSONL file; the sink
+         never consumes RNG, so traced and untraced campaigns produce
+         byte-identical artifacts. *)
+      let oc, events =
+        match trace_dir with
+        | None -> (None, None)
+        | Some dir ->
+            let file =
+              Filename.concat dir
+                (Printf.sprintf "%s__%s__%s__s%d.jsonl" (sanitize algo)
+                   (sanitize plan_name) (sanitize sched_name) s)
+            in
+            let oc = open_out file in
+            let sink =
+              Events.stream ~record_phi:(List.mem algo cheap_phi) oc
+            in
+            Events.meta sink
+              [
+                ("algo", Json.Str algo);
+                ("plan", Json.Str plan_name);
+                ("sched", Json.Str sched_name);
+                ("seed", Json.Int s);
+                ("n", Json.Int (Graph.n g));
+                ("m", Json.Int (Graph.m g));
+                ("edges", edges_json g);
+              ];
+            (Some oc, Some sink)
+      in
       let ( base_rounds,
             rounds,
             steps,
@@ -94,8 +139,11 @@ let run_matrix ~pool ~gen ~n ~seeds ~seed_base ~algos ~plans ~daemons ~max_round
             verdict,
             max_bits,
             injections ) =
-        run_episode algo g sched rng ~plan ~max_rounds ~max_injections ~stall_window
-          ~cycle_repeats
+        Fun.protect
+          ~finally:(fun () -> Option.iter close_out oc)
+          (fun () ->
+            run_episode algo g sched rng ~plan ~max_rounds ~max_injections
+              ~stall_window ~cycle_repeats ?events ())
       in
       {
         algo;

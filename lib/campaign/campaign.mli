@@ -38,6 +38,14 @@ val known_algos : string list
     (algorithms, then plans, then daemons, then seed indices, each in
     the order given) regardless of worker interleaving.
 
+    [?trace_dir] streams one {!Repro_runtime.Events} JSONL trace per
+    cell into the given (existing) directory, named
+    [<algo>__<plan>__<sched>__s<seed>.jsonl] (cell coordinates
+    sanitized to filename-safe characters). The sink draws no
+    randomness, so traced and untraced campaigns yield byte-identical
+    cell lists. Per-round Φ is recorded only for algorithms whose
+    potential is cheap (bfs, spt).
+
     @raise Failure on an algorithm name outside {!known_algos}. *)
 val run_matrix :
   pool:Repro_runtime.Pool.t ->
@@ -52,6 +60,7 @@ val run_matrix :
   max_injections:int ->
   stall_window:int ->
   cycle_repeats:int ->
+  ?trace_dir:string ->
   unit ->
   cell list
 

@@ -32,6 +32,7 @@ module P = struct
   let step view = St_layer.step view ~get:Fun.id ~keep_shape:false
   let is_legal = is_bfs_tree
   let potential g sts = Some (potential g sts)
+  let classify = Some St_layer.classify
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

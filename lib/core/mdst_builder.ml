@@ -744,6 +744,28 @@ module P = struct
     | r -> r
   let is_legal = is_legal
   let potential = potential
+
+  (* Field-delta rule tag, in the priority order of [rules]. *)
+  let classify =
+    Some
+      (fun old fresh ->
+        if not (St_layer.equal old.st fresh.st) then
+          if old.sw <> fresh.sw then "switch" else St_layer.classify old.st fresh.st
+        else if old.sw <> fresh.sw then
+          match fresh.sw with None -> "token-clear" | Some _ -> "token"
+        else if old.deg <> fresh.deg then "deg"
+        else if old.size <> fresh.size then "size"
+        else if old.heavy <> fresh.heavy then "heavy"
+        else if not (Nca.equal old.seq fresh.seq) then "seq"
+        else if old.dmax <> fresh.dmax then "dmax-agg"
+        else if old.good <> fresh.good || old.mark <> fresh.mark || old.blocked <> fresh.blocked
+        then "marking"
+        else if old.frag <> fresh.frag || old.fdist <> fresh.fdist then "frag"
+        else if old.hub_agg <> fresh.hub_agg then "hub-agg"
+        else if old.mark_agg <> fresh.mark_agg then "mark-agg"
+        else if old.imp_agg <> fresh.imp_agg then "imp-agg"
+        else if old.veto_agg <> fresh.veto_agg then "veto-agg"
+        else "noop")
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

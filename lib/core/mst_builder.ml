@@ -554,6 +554,26 @@ module P = struct
     | r -> r
   let is_legal = is_legal
   let potential = potential
+
+  (* Field-delta rule tag, in the priority order of [rules]: a reparent
+     with a session write is the switching rule (flip or initiate — the
+     delta cannot tell them apart), a session write alone is token
+     bookkeeping, then the convergecast layers by first differing
+     field. *)
+  let classify =
+    Some
+      (fun old fresh ->
+        if not (St_layer.equal old.st fresh.st) then
+          if old.sw <> fresh.sw then "switch" else St_layer.classify old.st fresh.st
+        else if old.sw <> fresh.sw then
+          match fresh.sw with None -> "token-clear" | Some _ -> "token"
+        else if old.size <> fresh.size then "size"
+        else if old.heavy <> fresh.heavy then "heavy"
+        else if not (Nca.equal old.seq fresh.seq) then "seq"
+        else if not (FL.equal old.frags fresh.frags) then "frags"
+        else if not (Aggregate.equal equal_cand old.cand_agg fresh.cand_agg) then "cand-agg"
+        else if not (Aggregate.equal equal_cut old.cut_agg fresh.cut_agg) then "cut-agg"
+        else "noop")
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

@@ -134,6 +134,15 @@ module P = struct
     !ok
 
   let potential g sts = Some (potential g sts)
+
+  let classify =
+    Some
+      (fun old fresh ->
+        if fresh.parent = -1 && old.parent <> -1 then "reset"
+        else if old.root <> fresh.root then "join-root"
+        else if old.parent <> fresh.parent then "reparent"
+        else if old.wdist <> fresh.wdist then "dist"
+        else "hops")
 end
 
 module Engine = Repro_runtime.Engine.Make (P)

@@ -7,6 +7,14 @@ type t = { parent : int; root : int; dist : int }
 
 let equal (a : t) b = a = b
 let pp ppf s = Format.fprintf ppf "(p=%d,r=%d,d=%d)" s.parent s.root s.dist
+
+(* Rule tag for the transition [old -> fresh], shared by every protocol
+   that embeds the layer (see Protocol.S.classify). *)
+let classify (old : t) (fresh : t) =
+  if fresh.parent = -1 && old.parent <> -1 then "reset"
+  else if old.root <> fresh.root then "join-root"
+  else if old.parent <> fresh.parent then "reparent"
+  else "dist"
 let size_bits n _ = Space.id_bits n + Space.id_bits n + Space.dist_bits n
 let self_root id = { parent = -1; root = id; dist = 0 }
 

@@ -24,6 +24,12 @@ val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val size_bits : int -> t -> int
 
+(** Rule tag for a layer transition, for [Protocol.S.classify]:
+    ["reset"] (became its own root), ["join-root"] (adopted a new root),
+    ["reparent"] (changed parent inside the same root's tree) or
+    ["dist"] (distance repair only). *)
+val classify : t -> t -> string
+
 (** A node's boot state: its own one-node tree. *)
 val self_root : int -> t
 

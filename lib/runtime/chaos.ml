@@ -40,8 +40,8 @@ module Make (P : Protocol.S) = struct
     fun v -> List.fold_left (fun acc d -> min acc d.(v)) max_int dists
 
   let run_episode ?(max_steps = 2_000_000) ?(max_rounds = 20_000) ?(stall_window = 64)
-      ?(cycle_repeats = 3) ?(max_injections = 3) ?(watch_phi = false) ?telemetry g sched
-      rng (plan : Fault.Plan.t) =
+      ?(cycle_repeats = 3) ?(max_injections = 3) ?(watch_phi = false) ?telemetry ?events
+      g sched rng (plan : Fault.Plan.t) =
     let wd = Watchdog.create ~stall_window ~cycle_repeats () in
     let stop_when () = Watchdog.tripped wd <> None in
     (* Config history for stale-replay payloads: most recent boundary
@@ -113,13 +113,16 @@ module Make (P : Protocol.S) = struct
       | Fault.Plan.Periodic _ | Fault.Plan.Poisson _ -> max max_injections 1
     in
     let observe round states =
+      (* [snap] verifies hash recurrences against the full configuration,
+         so a fingerprint collision cannot build up a false Livelock. *)
       Watchdog.observe_round wd ~round ~hash:(Watchdog.config_hash states)
+        ~snap:(fun () -> Marshal.to_string states [])
         ~phi:(if watch_phi then P.potential g states else None);
       push_history states
     in
     (* Phase 1: stabilize from an adversarial configuration. *)
-    let base = E.run ~max_steps ~max_rounds ~on_round:observe ~stop_when g sched rng
-        ~init:(E.adversarial rng g)
+    let base = E.run ~max_steps ~max_rounds ~on_round:observe ~stop_when ?events g sched
+        rng ~init:(E.adversarial rng g)
     in
     if not (base.E.silent && base.E.legal) then
       {
@@ -146,8 +149,30 @@ module Make (P : Protocol.S) = struct
       let last = ref base in
       while !inj_count < cap && !last.E.silent && !last.E.legal && !rounds_off < max_rounds
       do
-        let _, corrupted = inject ~at_round:!rounds_off !states in
+        let nodes, corrupted = inject ~at_round:!rounds_off !states in
         let run_base = !rounds_off in
+        (* This corruption happens outside the engine (the recovery run
+           starts from the corrupted configuration), so emit its fault
+           events here and seed the engine's provenance: the pre-fault
+           configuration was silent, hence every node the corrupted one
+           enables was woken by an injected register in its closed
+           neighborhood. Mid-run re-injections below go through the
+           [?adversary] hook and get their fault events from the engine. *)
+        let init_causes =
+          match events with
+          | None -> None
+          | Some sink ->
+              let eids =
+                List.map
+                  (fun v -> (v, Events.emit_fault sink ~node:v ~round:run_base))
+                  nodes
+              in
+              Some
+                (fun v ->
+                  List.filter_map
+                    (fun (u, e) -> if u = v || Graph.has_edge g u v then Some e else None)
+                    eids)
+        in
         let fires abs =
           abs > run_base
           &&
@@ -169,7 +194,8 @@ module Make (P : Protocol.S) = struct
         let on_step v _ = Hashtbl.replace seg_writers v () in
         let r =
           E.run ~max_steps ~max_rounds:(max_rounds - run_base) ~on_round ~on_step
-            ~adversary ~stop_when g sched rng ~init:corrupted
+            ~adversary ~stop_when ?events ?init_causes ~round_offset:run_base
+            ~step_offset:!steps_total g sched rng ~init:corrupted
         in
         states := r.E.states;
         rounds_off := run_base + r.E.rounds;

@@ -62,7 +62,19 @@ module Make (P : Protocol.S) : sig
       {!Telemetry.recovery} records. Defaults: [max_steps] = 2_000_000,
       [max_rounds] = 20_000, [stall_window] = 64, [cycle_repeats] = 3,
       [max_injections] = 3 (mid-run timings only; [silence] plans always
-      inject exactly once). *)
+      inject exactly once).
+
+      An [events] sink receives the full causal trace of the episode on
+      one id-monotone timeline (rounds/steps offset across the engine
+      runs a fault phase spans): the stabilization moves, one [Fault]
+      event per corrupted register, and every recovery move with its
+      enabling causes — silence-timed corruptions happen outside the
+      engine, so the harness emits their fault events itself and seeds
+      the recovery run's [init_causes] with them (the pre-fault
+      configuration being silent makes the attribution exact). Recovery
+      moves therefore chain back to the injection that caused them; see
+      OBSERVABILITY.md. Neither sink consumes RNG draws: campaign
+      results are bit-identical with or without tracing. *)
   val run_episode :
     ?max_steps:int ->
     ?max_rounds:int ->
@@ -71,6 +83,7 @@ module Make (P : Protocol.S) : sig
     ?max_injections:int ->
     ?watch_phi:bool ->
     ?telemetry:Telemetry.t ->
+    ?events:Events.t ->
     Repro_graph.Graph.t ->
     Scheduler.t ->
     Random.State.t ->

@@ -322,8 +322,9 @@ module Make (P : Protocol.S) = struct
      guard read happens immediately. *)
 
   let run ?(max_steps = 10_000_000) ?(max_rounds = 200_000) ?(track_legal = false)
-      ?(stop_when_legal = false) ?telemetry ?on_round ?on_step ?adversary ?stop_when g
-      sched rng ~init =
+      ?(stop_when_legal = false) ?telemetry ?on_round ?on_step ?adversary ?stop_when
+      ?events ?profile ?init_causes ?(round_offset = 0) ?(step_offset = 0) g sched rng
+      ~init =
     let net = net_of g in
     let states = Array.copy init in
     let n = Graph.n g in
@@ -335,6 +336,21 @@ module Make (P : Protocol.S) = struct
     let poll_stop () =
       match stop_when with Some f -> if f () then stop := true | None -> ()
     in
+    (* Causal provenance (allocated only when an event sink is attached):
+       [cause_buf.(v)] accumulates the ids of the events whose writes
+       dirtied [v]'s view since [v]'s guard last consumed them;
+       [enablers.(v)] freezes, at the moment [v]'s cached move (re-)
+       appears, the ids that woke it — emitted as that move's [causes].
+       [cur_eid] is the id of the write being propagated by [touch]. *)
+    let tracing = events <> None in
+    let cause_buf = if tracing then Array.make n [] else [||] in
+    let enablers = if tracing then Array.make n [] else [||] in
+    let just_moved = if tracing then Array.make n false else [||] in
+    let cur_eid = ref (-1) in
+    let move_phi =
+      match events with Some e -> Events.wants_move_phi e | None -> false
+    in
+    let last_phi = ref None in
     (* Reusable scratch views: [data_version.(v)] is bumped whenever a
        register in [v]'s closed neighborhood changes; [view_version.(v)]
        records the version [scratch.(v)] was last refreshed at. *)
@@ -343,6 +359,7 @@ module Make (P : Protocol.S) = struct
     let view_version = Array.make n 0 in
     let refresh v =
       if view_version.(v) <> data_version.(v) then begin
+        (match profile with Some p -> Profile.on_refresh p | None -> ());
         let vw = scratch.(v) in
         vw.View.self <- states.(v);
         let ids = net.ids.(v) in
@@ -359,7 +376,17 @@ module Make (P : Protocol.S) = struct
     let enabled = Enabled_set.create n in
     let recompute v =
       refresh v;
+      (match profile with Some p -> Profile.on_guard p | None -> ());
       let mv = P.step scratch.(v) in
+      let was = moves.(v) <> None in
+      let now = mv <> None in
+      if tracing then begin
+        if now && ((not was) || just_moved.(v)) then enablers.(v) <- List.rev cause_buf.(v)
+        else if not now then enablers.(v) <- [];
+        just_moved.(v) <- false;
+        cause_buf.(v) <- []
+      end;
+      (match profile with Some p -> if was <> now then Profile.on_churn p | None -> ());
       moves.(v) <- mv;
       match mv with
       | Some _ -> Enabled_set.add enabled v
@@ -368,18 +395,33 @@ module Make (P : Protocol.S) = struct
     for v = 0 to n - 1 do
       recompute v
     done;
+    (* Seed provenance for nodes the *initial configuration* enables:
+       the caller knows why they are enabled (e.g. chaos injected faults
+       into a silent configuration and emitted the fault events itself).
+       Nodes the callback maps to [] stay root-spontaneous. *)
+    (match init_causes with
+    | Some f when tracing ->
+        for v = 0 to n - 1 do
+          if moves.(v) <> None then enablers.(v) <- f v
+        done
+    | _ -> ());
+    if move_phi then last_phi := P.potential g states;
     let dirty = Bitset.create n in
     let touch v =
+      (match profile with Some p -> Profile.on_touch p | None -> ());
       data_version.(v) <- data_version.(v) + 1;
       Bitset.add dirty v;
+      if tracing && !cur_eid >= 0 then cause_buf.(v) <- !cur_eid :: cause_buf.(v);
       Array.iter
         (fun u ->
           data_version.(u) <- data_version.(u) + 1;
-          Bitset.add dirty u)
+          Bitset.add dirty u;
+          if tracing && !cur_eid >= 0 then cause_buf.(u) <- !cur_eid :: cause_buf.(u))
         net.ids.(v)
     in
     let flush () =
       if not (Bitset.is_empty dirty) then begin
+        (match profile with Some p -> Profile.on_flush p | None -> ());
         Bitset.iter recompute dirty;
         Bitset.clear dirty
       end
@@ -396,9 +438,17 @@ module Make (P : Protocol.S) = struct
               if states.(v) != s then begin
                 states.(v) <- s;
                 max_bits := max !max_bits (P.size_bits n s);
-                touch v
+                (* A mid-run corruption is a DAG source: the fault event
+                   becomes the cause of every move it wakes up. *)
+                (match events with
+                | Some sink ->
+                    cur_eid := Events.emit_fault sink ~node:v ~round:(round_offset + !rounds)
+                | None -> ());
+                touch v;
+                cur_eid := -1
               end)
             (f ~round:!rounds states);
+          if move_phi then last_phi := P.potential g states;
           flush ()
     in
     (* Adversary bookkeeping. *)
@@ -413,9 +463,38 @@ module Make (P : Protocol.S) = struct
       let bits = P.size_bits n s in
       max_bits := max !max_bits bits;
       (match telemetry with Some t -> Telemetry.on_write t ~bits | None -> ());
+      let rule =
+        if tracing || profile <> None then
+          match P.classify with Some f -> Some (f old s) | None -> None
+        else None
+      in
+      (match profile with Some p -> Profile.on_move ?rule p | None -> ());
+      (match events with
+      | Some sink ->
+          let dphi =
+            if move_phi then begin
+              let np = P.potential g states in
+              let d =
+                match (!last_phi, np) with Some a, Some b -> Some (b - a) | _ -> None
+              in
+              last_phi := np;
+              d
+            end
+            else None
+          in
+          let eid =
+            Events.emit_move sink ~node:v ~step:(step_offset + !steps)
+              ~round:(round_offset + !rounds) ?rule ~bits_before:(P.size_bits n old)
+              ~bits_after:bits ?dphi ~causes:enablers.(v) ()
+          in
+          enablers.(v) <- [];
+          just_moved.(v) <- true;
+          cur_eid := eid
+      | None -> ());
       (* A physically unchanged register leaves every view — including
          the writer's own — bit-identical, so the caches stay valid. *)
       if old != s then touch v;
+      cur_eid := -1;
       if not defer then flush ();
       Bitset.remove pending v;
       (match on_step with Some f -> f v states | None -> ());
@@ -435,6 +514,14 @@ module Make (P : Protocol.S) = struct
           Telemetry.on_round t ~round:!rounds
             ~enabled:(Enabled_set.cardinal enabled)
             ~max_bits:!mx ~total_bits:!total ~phi
+      | None -> ());
+      (match events with
+      | Some sink ->
+          let phi = if Events.wants_phi sink then P.potential g states else None in
+          Events.emit_round sink
+            ~round:(round_offset + !rounds)
+            ~enabled:(Enabled_set.cardinal enabled)
+            ~phi
       | None -> ());
       (match on_round with Some f -> f !rounds states | None -> ());
       (if (track_legal || stop_when_legal) && !first_legal = None then

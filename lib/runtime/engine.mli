@@ -86,7 +86,32 @@ module Make (P : Protocol.S) : sig
       or distributed batch are skipped, and no further faults are
       injected). The convergence watchdog ({!Watchdog}) uses it to cut
       livelocked or stalled runs short instead of burning the round
-      budget. *)
+      budget.
+
+      Observability hooks (all off by default; attaching none of them
+      leaves the execution bit-identical — none consume RNG draws):
+
+      [events] streams one structured event per write / fault / round
+      boundary into an {!Events} sink, with causal provenance: every
+      move carries the ids of the writes that (re-)enabled it, read off
+      the executor's own wakeup path (see {!Events} and
+      OBSERVABILITY.md). [init_causes v] supplies the cause ids for
+      nodes the {e initial} configuration enables (chaos uses it to
+      attribute recovery to fault events it emitted before the run);
+      nodes not covered are root-spontaneous. [round_offset] /
+      [step_offset] shift the round/step fields of emitted events only
+      (never the semantics) so multi-run episodes share one timeline.
+
+      [profile] counts guard evaluations, view refreshes, wakeups,
+      flushes, enabled-set churn and per-rule moves into a {!Profile}
+      record.
+
+      These hooks exist on {!run} only: [run_reference] stays the
+      uninstrumented oracle. Under the synchronous daemon the incremental
+      executor coalesces guard re-probes per batch, so a move's [causes]
+      name every adjacent write of the waking batch, where a per-write
+      engine would name only the first — the DAG invariant (causes
+      precede, edge-adjacent) holds either way. *)
   val run :
     ?max_steps:int ->
     ?max_rounds:int ->
@@ -97,6 +122,11 @@ module Make (P : Protocol.S) : sig
     ?on_step:(int -> P.state array -> unit) ->
     ?adversary:(round:int -> P.state array -> (int * P.state) list) ->
     ?stop_when:(unit -> bool) ->
+    ?events:Events.t ->
+    ?profile:Profile.t ->
+    ?init_causes:(int -> int list) ->
+    ?round_offset:int ->
+    ?step_offset:int ->
     Repro_graph.Graph.t ->
     Scheduler.t ->
     Random.State.t ->

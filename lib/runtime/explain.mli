@@ -1,0 +1,77 @@
+(** Convergence narratives from {!Events} traces.
+
+    Parses a JSONL trace (as written by [Engine.run ~events] through a
+    {!Events.stream} sink, or re-serialized from a ring) and renders an
+    explanation of {e how} the run converged: per-rule move breakdown,
+    Φ trajectory milestones, the hottest nodes, the activation DAG's
+    shape, and — for chaos traces — one causal-cone summary per fault
+    injection (moves transitively caused by the injection, distinct
+    nodes reached, measured cone radius in hops).
+
+    Attribution walks the activation DAG: a move belongs to an
+    injection's cone when some cause chain leads back to one of its
+    [Fault] events; a move whose chains all terminate in moves without
+    causes is {e root-spontaneous} (enabled by the initial
+    configuration). Fault events at the same round form one injection.
+    Cone radii need the graph; they are computed when the trace's meta
+    header carries an ["edges"] list (the CLI writes one). *)
+
+type move = {
+  id : int;
+  step : int;
+  round : int;
+  node : int;
+  rule : string option;
+  bits_before : int;
+  bits_after : int;
+  dphi : int option;
+  causes : int list;
+}
+
+type fault = { id : int; round : int; node : int }
+type round_rec = { round : int; enabled : int; phi : int option }
+
+type trace = {
+  meta : (string * Metrics.Json.t) list option;
+  moves : move list;  (** chronological *)
+  faults : fault list;  (** chronological *)
+  rounds : round_rec list;  (** chronological *)
+}
+
+(** Parse the full contents of a JSONL trace file. [Error] carries the
+    1-based line number and what was wrong with it. *)
+val parse : string -> (trace, string) result
+
+(** Per-injection causal cone. *)
+type cone = {
+  injection_round : int;
+  injected : int list;  (** corrupted nodes, sorted *)
+  attributed_moves : int;
+  cone_nodes : int list;  (** distinct movers in the cone, sorted *)
+  cone_radius : int option;  (** max hops from the injected set; needs meta edges *)
+}
+
+type report = {
+  header : (string * Metrics.Json.t) list;
+  total_moves : int;
+  total_faults : int;
+  total_rounds : int;  (** highest round index seen *)
+  distinct_movers : int;
+  rule_breakdown : (string * int) list;  (** descending count; "?" = untagged *)
+  phi_milestones : (int * int) list;  (** (round, Φ) — first, decade crossings, last *)
+  hot_nodes : (int * int) list;  (** (node, moves), descending, top-k *)
+  cause_edges : int;
+  root_spontaneous : int;  (** moves with an empty transitive fault set *)
+  fault_attributed : int;
+  max_chain : int;  (** longest cause chain (DAG depth), 1 = isolated move *)
+  cones : cone list;
+}
+
+val analyze : ?top:int -> trace -> report
+val pp_text : Format.formatter -> report -> unit
+val to_text : report -> string
+
+(** Self-contained single-file HTML (inline CSS/SVG, no external
+    assets): the same content as {!to_text} plus a Φ sparkline and
+    per-rule bars. *)
+val to_html : report -> string

@@ -22,6 +22,14 @@ val corrupt :
   k:int ->
   'state array
 
+(** [pick_nodes rng ~n ~k] — [k] distinct uniform node ids out of
+    [0..n-1], sorted. Exactly the draw {!corrupt} performs internally;
+    exposed so callers that must {e know} which nodes a random fault
+    hit (e.g. to attribute recovery moves in an event trace) can pick
+    first and then call {!corrupt_nodes}, consuming the same RNG
+    stream. *)
+val pick_nodes : Random.State.t -> n:int -> k:int -> int list
+
 (** [corrupt_nodes rng ~random_state g states nodes] corrupts exactly the
     given nodes, deduplicated (each register is re-drawn once however
     often its id is listed).

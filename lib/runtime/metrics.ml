@@ -18,6 +18,8 @@ module Json = struct
         | '\n' -> Buffer.add_string buf "\\n"
         | '\r' -> Buffer.add_string buf "\\r"
         | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
         | c when Char.code c < 0x20 ->
             Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
         | c -> Buffer.add_char buf c)
@@ -96,14 +98,39 @@ module Json = struct
             | 'f' -> Buffer.add_char buf '\012'; advance ()
             | 'u' ->
                 advance ();
-                if !pos + 4 > n then raise Bad;
-                let code =
-                  try int_of_string ("0x" ^ String.sub s !pos 4) with _ -> raise Bad
+                (* Exactly four hex digits — [int_of_string "0x…"] would
+                   also accept underscores. *)
+                let hex4 () =
+                  if !pos + 4 > n then raise Bad;
+                  let v = ref 0 in
+                  for i = !pos to !pos + 3 do
+                    let d =
+                      match s.[i] with
+                      | '0' .. '9' as c -> Char.code c - Char.code '0'
+                      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                      | _ -> raise Bad
+                    in
+                    v := (!v * 16) + d
+                  done;
+                  pos := !pos + 4;
+                  !v
                 in
-                pos := !pos + 4;
-                (* Only code points the writer emits (< 0x80); others are
-                   replaced rather than UTF-8 encoded. *)
-                Buffer.add_char buf (if code < 0x80 then Char.chr code else '?')
+                let code = hex4 () in
+                let code =
+                  if code >= 0xD800 && code <= 0xDBFF then begin
+                    (* High surrogate: a low surrogate escape must follow. *)
+                    if !pos + 2 > n || s.[!pos] <> '\\' || s.[!pos + 1] <> 'u' then
+                      raise Bad;
+                    pos := !pos + 2;
+                    let low = hex4 () in
+                    if low < 0xDC00 || low > 0xDFFF then raise Bad;
+                    0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                  end
+                  else if code >= 0xDC00 && code <= 0xDFFF then raise Bad
+                  else code
+                in
+                Buffer.add_utf_8_uchar buf (Uchar.of_int code)
             | _ -> raise Bad);
             go ()
         | c -> Buffer.add_char buf c; advance (); go ()

@@ -31,8 +31,12 @@ module Json : sig
   val to_channel : out_channel -> t -> unit
 
   (** Strict recursive-descent parser; [None] on any syntax error or
-      trailing garbage. Handles everything {!to_string} emits, including
-      [\uXXXX] escapes for control characters. *)
+      trailing garbage. Handles everything {!to_string} emits — quotes,
+      backslashes and control characters round-trip byte-exactly — plus
+      the full [\uXXXX] escape grammar of external producers: exactly
+      four hex digits, arbitrary BMP code points (UTF-8 encoded into the
+      result), and surrogate pairs for the astral planes; lone
+      surrogates and malformed digits are rejected. *)
   val of_string : string -> t option
 
   (** [member key j] — field lookup when [j] is an [Obj]. *)

@@ -9,4 +9,5 @@ module type S = sig
   val step : state View.t -> state option
   val is_legal : Repro_graph.Graph.t -> state array -> bool
   val potential : Repro_graph.Graph.t -> state array -> int option
+  val classify : (state -> state -> string) option
 end

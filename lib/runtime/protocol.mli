@@ -45,4 +45,14 @@ module type S = sig
       domain (e.g. the registers do not encode a tree). Observational
       only — consumed by {!Telemetry}, never by [step]. *)
   val potential : Repro_graph.Graph.t -> state array -> int option
+
+  (** [classify old new_] names the rule (or phase) responsible for the
+      register transition [old -> new_], e.g. ["reparent"], ["size"],
+      ["switch"]. Consumed by the event/profiling layer ({!Events},
+      {!Profile}) to break executions down per rule; never by [step].
+      The tag is derived from the register {e delta} rather than the
+      view so it stays meaningful under the synchronous daemon's
+      deferred writes. [None] when the protocol does not classify its
+      moves (events are then recorded untagged). *)
+  val classify : (state -> state -> string) option
 end

@@ -1,0 +1,199 @@
+module Json = Metrics.Json
+
+let ( let* ) = Result.bind
+
+let field obj k =
+  match Json.member k obj with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let as_int k = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S is not an int" k)
+
+let as_str k = function
+  | Json.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S is not a string" k)
+
+let as_bool k = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S is not a bool" k)
+
+let as_list k = function
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "field %S is not a list" k)
+
+let int_field obj k =
+  let* v = field obj k in
+  as_int k v
+
+let str_field obj k =
+  let* v = field obj k in
+  as_str k v
+
+let bool_field obj k =
+  let* v = field obj k in
+  as_bool k v
+
+let opt_int_field obj k =
+  match Json.member k obj with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S is not an int or null" k)
+
+let ints_field obj k =
+  let* v = field obj k in
+  let* l = as_list k v in
+  List.fold_left
+    (fun acc x ->
+      let* () = acc in
+      match x with
+      | Json.Int _ -> Ok ()
+      | _ -> Error (Printf.sprintf "field %S contains a non-int" k))
+    (Ok ()) l
+
+let require_int obj k =
+  let* (_ : int) = int_field obj k in
+  Ok ()
+
+let require_str obj k =
+  let* (_ : string) = str_field obj k in
+  Ok ()
+
+let require_bool obj k =
+  let* (_ : bool) = bool_field obj k in
+  Ok ()
+
+let all checks = List.fold_left (fun acc c -> Result.bind acc (fun () -> c)) (Ok ()) checks
+
+let indexed what l check =
+  let rec go i = function
+    | [] -> Ok i
+    | x :: tl -> (
+        match check x with
+        | Ok () -> go (i + 1) tl
+        | Error e -> Error (Printf.sprintf "%s %d: %s" what i e))
+  in
+  go 0 l
+
+(* ------------------------------------------------------------------ *)
+
+let validate_bench j =
+  let* () = require_int j "seed" in
+  let* exps = field j "experiments" in
+  let* exps = as_list "experiments" exps in
+  indexed "experiment" exps (fun e ->
+      all
+        [
+          require_str e "exp";
+          require_str e "algo";
+          require_int e "n";
+          require_int e "rounds";
+          require_int e "steps";
+          require_int e "max_bits";
+          require_int e "wall_ns";
+        ])
+
+let verdicts = [ "converged"; "livelock"; "stalled"; "exhausted" ]
+
+let validate_injection inj =
+  all
+    [
+      require_int inj "round";
+      Result.map (fun _ -> ()) (ints_field inj "nodes");
+      Result.map (fun _ -> ()) (opt_int_field inj "gap");
+      Result.map (fun _ -> ()) (opt_int_field inj "radius");
+      require_int inj "touched";
+    ]
+
+let validate_cell c =
+  let* () =
+    all
+      [
+        require_str c "algo";
+        require_str c "plan";
+        require_str c "sched";
+        require_int c "seed";
+        require_int c "n";
+        require_int c "m";
+        require_int c "base_rounds";
+        require_int c "rounds";
+        require_int c "steps";
+        require_bool c "silent";
+        require_bool c "legal";
+        require_bool c "recovered";
+        require_int c "max_bits";
+      ]
+  in
+  let* v = str_field c "verdict" in
+  let* () =
+    if List.mem v verdicts then Ok ()
+    else Error (Printf.sprintf "unknown verdict %S" v)
+  in
+  let* injs = field c "injections" in
+  let* injs = as_list "injections" injs in
+  Result.map (fun _ -> ()) (indexed "injection" injs validate_injection)
+
+let validate_chaos j =
+  let* meta = field j "meta" in
+  let* () =
+    all
+      [
+        require_str meta "experiment";
+        require_str meta "graph";
+        require_int meta "n";
+        require_int meta "seeds";
+        require_int meta "seed_base";
+        require_int meta "max_rounds";
+        require_int meta "max_injections";
+      ]
+  in
+  let* summary = field j "summary" in
+  let* () =
+    all
+      [ require_int summary "cells"; require_int summary "recovered"; require_int summary "failed" ]
+  in
+  let* cells = field j "cells" in
+  let* cells = as_list "cells" cells in
+  indexed "cell" cells validate_cell
+
+(* ------------------------------------------------------------------ *)
+
+let validate_trace contents =
+  match Explain.parse contents with
+  | Error e -> Error e
+  | Ok t ->
+      (* Re-walk in line (= id) order: ids strictly increase and every
+         cause names an already-seen event. *)
+      let tagged =
+        List.merge
+          (fun a b -> compare (fst a) (fst b))
+          (List.map (fun (f : Explain.fault) -> (f.id, [])) t.Explain.faults)
+          (List.map (fun (m : Explain.move) -> (m.id, m.causes)) t.Explain.moves)
+      in
+      let rec go last count = function
+        | [] -> Ok count
+        | (id, causes) :: tl ->
+            if id <= last then Error (Printf.sprintf "event id %d not increasing" id)
+            else if List.exists (fun c -> c >= id || c < 0) causes then
+              Error (Printf.sprintf "event %d has a cause that does not precede it" id)
+            else go id (count + 1) tl
+      in
+      let n_rounds = List.length t.Explain.rounds in
+      Result.map (fun c -> c + n_rounds) (go (-1) 0 tagged)
+
+let sniff contents =
+  let first_line =
+    match String.index_opt contents '\n' with
+    | Some i -> String.sub contents 0 i
+    | None -> contents
+  in
+  let categorize j =
+    if Json.member "ev" j <> None then Some `Trace
+    else if Json.member "experiments" j <> None then Some `Bench
+    else if Json.member "cells" j <> None then Some `Chaos
+    else None
+  in
+  match Json.of_string (String.trim first_line) with
+  | Some j -> categorize j
+  | None -> Option.bind (Json.of_string (String.trim contents)) categorize

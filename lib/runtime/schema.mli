@@ -1,0 +1,30 @@
+(** Structural validation of the repository's committed JSON artifacts
+    and of {!Events} JSONL traces, against the schemas documented in
+    OBSERVABILITY.md / PERFORMANCE.md.
+
+    Backing for [repro_cli validate] and the [@schema] dune alias: a
+    schema drift (a renamed field, a type change, a malformed trace)
+    fails the smoke gate instead of silently breaking downstream
+    consumers of [BENCH_repro.json] / [CHAOS_repro.json] / trace files.
+
+    Each validator returns [Ok count] — the number of records checked —
+    or [Error msg] locating the first violation. *)
+
+(** [{"seed": int, "experiments": [{exp, algo, n, rounds, steps,
+    max_bits, wall_ns} ...]}] — the bench regression artifact. *)
+val validate_bench : Metrics.Json.t -> (int, string) result
+
+(** [{"meta": {...}, "cells": [...], "summary": {...}}] — the chaos
+    campaign artifact ({!Campaign}); each cell's identification,
+    outcome, verdict and injection records are checked. *)
+val validate_chaos : Metrics.Json.t -> (int, string) result
+
+(** Validate a whole JSONL trace from its file {e contents}: every line
+    parses ({!Explain.parse}'s grammar), event ids are strictly
+    increasing, and every cause id refers to an earlier event. *)
+val validate_trace : string -> (int, string) result
+
+(** Sniff which validator a file's contents call for: a JSONL trace
+    (first line has an ["ev"] field), a bench artifact
+    (["experiments"]) or a chaos artifact (["cells"]). *)
+val sniff : string -> [ `Bench | `Chaos | `Trace ] option

@@ -22,15 +22,21 @@ let pp_verdict ppf = function
       Format.fprintf ppf "exhausted (limits hit at %d rounds / %d steps, no pattern)"
         rounds steps
 
+(* One bucket per distinct configuration observed under a hash. [bsnap]
+   is the serialized configuration when a verifier ([?snap]) is in use,
+   [None] when counting by hash alone (or for a first occurrence that
+   predates verification). *)
+type bucket = { mutable bsnap : string option; mutable bcount : int; mutable blast : int }
+
 type t = {
   stall_window : int;
   cycle_repeats : int;
-  (* hash -> (occurrences, index of last occurrence); separate tables so
+  (* hash -> occurrence buckets; separate tables so
      the per-write probe cannot double-count the round-boundary
      configuration (the boundary config IS the config after the round's
      last write). *)
-  round_seen : (int, int * int) Hashtbl.t;
-  step_seen : (int, int * int) Hashtbl.t;
+  round_seen : (int, bucket list) Hashtbl.t;
+  step_seen : (int, bucket list) Hashtbl.t;
   mutable step_index : int;
   mutable best_phi : int option;
   mutable best_phi_round : int;
@@ -62,14 +68,53 @@ let reset t =
 
 let trip t v = if t.tripped = None then t.tripped <- Some v
 
-let cycle tbl ~repeats ~index ~hash =
-  let count, last = match Hashtbl.find_opt tbl hash with Some c -> c | None -> (0, index) in
-  Hashtbl.replace tbl hash (count + 1, index);
-  if count + 1 >= repeats then Some (max 1 (index - last)) else None
+let bump b ~repeats ~index =
+  b.bcount <- b.bcount + 1;
+  let last = b.blast in
+  b.blast <- index;
+  if b.bcount >= repeats then Some (max 1 (index - last)) else None
 
-let observe_round t ~round ~hash ~phi =
+let cycle tbl ~repeats ~index ~hash ~snap =
+  match Hashtbl.find_opt tbl hash with
+  | None | Some [] ->
+      (* First sight of this hash: no snapshot taken — the verifier runs
+         only on recurrence, so unique configurations (the common case)
+         never pay for serialization. *)
+      Hashtbl.replace tbl hash [ { bsnap = None; bcount = 1; blast = index } ];
+      None
+  | Some buckets -> (
+      match snap with
+      | None ->
+          (* No verifier: hash equality counts as configuration
+             equality (single bucket per hash, the pre-verifier
+             behavior). *)
+          bump (List.hd buckets) ~repeats ~index
+      | Some f -> (
+          let sn = f () in
+          let rec find = function
+            | [] -> None
+            | b :: rest -> (
+                match b.bsnap with
+                | Some s when String.equal s sn -> Some b
+                | Some _ -> find rest
+                | None ->
+                    (* The first occurrence predates verification; credit
+                       it to this snapshot. At most one benign collision
+                       can inflate a bucket by one — within what the
+                       default [cycle_repeats = 3] tolerates. *)
+                    b.bsnap <- Some sn;
+                    Some b)
+          in
+          match find buckets with
+          | Some b -> bump b ~repeats ~index
+          | None ->
+              Hashtbl.replace tbl hash
+                ({ bsnap = Some sn; bcount = 1; blast = index } :: buckets);
+              None))
+
+let observe_round ?snap t ~round ~hash ~phi =
   t.last_round <- round;
-  (match cycle t.round_seen ~repeats:t.cycle_repeats ~index:round ~hash with
+  (match cycle t.round_seen ~repeats:t.cycle_repeats ~index:round ~hash ~snap with
   | Some period -> trip t (Livelock { round; period })
   | None -> ());
   match phi with
@@ -86,10 +131,10 @@ let observe_round t ~round ~hash ~phi =
         trip t (Stalled { round; window = t.stall_window })
   | None -> ()
 
-let observe_step t ~hash =
+let observe_step ?snap t ~hash =
   t.step_index <- t.step_index + 1;
   t.last_steps <- t.step_index;
-  match cycle t.step_seen ~repeats:t.cycle_repeats ~index:t.step_index ~hash with
+  match cycle t.step_seen ~repeats:t.cycle_repeats ~index:t.step_index ~hash ~snap with
   | Some period -> trip t (Livelock { round = t.last_round; period })
   | None -> ()
 

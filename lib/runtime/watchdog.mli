@@ -44,13 +44,26 @@ val create : ?stall_window:int -> ?cycle_repeats:int -> unit -> t
 (** [observe_round t ~round ~hash ~phi] — feed one round boundary:
     [hash] fingerprints the configuration (see {!config_hash}), [phi]
     is the live potential ([None] when the protocol defines none or it
-    is undefined in this configuration — no stall tracking then). *)
-val observe_round : t -> round:int -> hash:int -> phi:int option -> unit
+    is undefined in this configuration — no stall tracking then).
+
+    [snap], when given, is a collision verifier: a thunk serializing
+    the {e full} configuration (e.g.
+    [fun () -> Marshal.to_string states []]). It is invoked only when
+    [hash] has been seen before, and occurrences are then counted per
+    distinct serialized configuration — so a hash collision between
+    different configurations can no longer accumulate into a false
+    [Livelock] verdict, while a genuine recurrence trips exactly as
+    without the verifier. Without [snap], hash equality is trusted (the
+    historical behavior; [cycle_repeats = 3] then tolerates one benign
+    collision). *)
+val observe_round :
+  ?snap:(unit -> string) -> t -> round:int -> hash:int -> phi:int option -> unit
 
 (** [observe_step t ~hash] — feed one register write. Kept in a table
     separate from the round hashes so a round-boundary configuration is
-    not double-counted by the write that produced it. *)
-val observe_step : t -> hash:int -> unit
+    not double-counted by the write that produced it. [snap] as in
+    {!observe_round}. *)
+val observe_step : ?snap:(unit -> string) -> t -> hash:int -> unit
 
 (** [reset t] forgets all hashes and the [Φ] floor; call immediately
     after a fault injection. A previously tripped verdict is cleared. *)

@@ -28,6 +28,7 @@ module Pingpong = struct
   let step view = Some (1 - view.View.self)
   let is_legal _ _ = false
   let potential _ _ = None
+  let classify = None
 end
 
 (* Counter: every node increments forever; every configuration is fresh
@@ -44,6 +45,7 @@ module Counter = struct
   let step view = Some (view.View.self + 1)
   let is_legal _ _ = false
   let potential _ _ = Some 42
+  let classify = None
 end
 
 (* Inert: never enabled; used to observe the adversary hook in
@@ -59,6 +61,7 @@ module Inert = struct
   let step _ = None
   let is_legal _ _ = true
   let potential _ _ = None
+  let classify = None
 end
 
 let watch (type s) (module P : Protocol.S with type state = s) g sched ~max_rounds
@@ -126,6 +129,56 @@ let test_watchdog_reset () =
   Alcotest.(check bool) "reset clears the verdict" true (Watchdog.tripped wd = None);
   Watchdog.observe_round wd ~round:3 ~hash:7 ~phi:None;
   Alcotest.(check bool) "history forgotten too" true (Watchdog.tripped wd = None)
+
+let test_watchdog_collision_not_livelock () =
+  (* Distinct configurations that share a hash: without the [snap]
+     verifier the recurring hash would be scored as a livelock; with it
+     occurrences are counted per serialized configuration, so a chain
+     of colliding-but-different configurations never trips. *)
+  let wd = Watchdog.create ~cycle_repeats:3 () in
+  let configs = [ [| 1 |]; [| 2 |]; [| 3 |]; [| 4 |]; [| 5 |]; [| 6 |] ] in
+  List.iteri
+    (fun i c ->
+      Watchdog.observe_round wd ~round:i ~hash:7 ~phi:None
+        ~snap:(fun () -> Marshal.to_string c []))
+    configs;
+  Alcotest.(check bool) "distinct configs under one hash never trip" true
+    (Watchdog.tripped wd = None)
+
+let test_watchdog_collision_true_cycle_still_trips () =
+  (* A genuine recurrence with [snap] attached must trip at exactly the
+     same occurrence count as the hash-only path (cycle_repeats = 3). *)
+  let wd = Watchdog.create ~cycle_repeats:3 () in
+  let c = [| 9; 9 |] in
+  let snap () = Marshal.to_string c [] in
+  Watchdog.observe_round wd ~round:0 ~hash:7 ~phi:None ~snap;
+  Watchdog.observe_round wd ~round:1 ~hash:7 ~phi:None ~snap;
+  Alcotest.(check bool) "second sight does not trip" true (Watchdog.tripped wd = None);
+  Watchdog.observe_round wd ~round:2 ~hash:7 ~phi:None ~snap;
+  match Watchdog.tripped wd with
+  | Some (Watchdog.Livelock { period; _ }) ->
+      Alcotest.(check int) "period from the last gap" 1 period
+  | v ->
+      Alcotest.failf "expected livelock, got %s"
+        (match v with None -> "no verdict" | Some v -> Watchdog.verdict_name v)
+
+let test_watchdog_collision_alternating_cycle () =
+  (* Two configurations alternating under one hash is a genuine
+     period-2 livelock (both recur); the verifier must still catch it
+     and report the period between same-configuration sightings. *)
+  let wd = Watchdog.create ~cycle_repeats:3 () in
+  let a = [| 1; 2 |] and b = [| 3; 4 |] in
+  List.iteri
+    (fun round c ->
+      Watchdog.observe_round wd ~round ~hash:7 ~phi:None
+        ~snap:(fun () -> Marshal.to_string c []))
+    [ a; b; a; b; a; b ];
+  match Watchdog.tripped wd with
+  | Some (Watchdog.Livelock { period; _ }) ->
+      Alcotest.(check int) "alternation caught with period 2" 2 period
+  | v ->
+      Alcotest.failf "expected livelock, got %s"
+        (match v with None -> "no verdict" | Some v -> Watchdog.verdict_name v)
 
 (* ------------------------------------------------------------------ *)
 (* Engine adversary hook *)
@@ -284,6 +337,12 @@ let () =
           Alcotest.test_case "exhausted only without a signal" `Quick
             test_watchdog_exhausted_without_signal;
           Alcotest.test_case "reset forgets history" `Quick test_watchdog_reset;
+          Alcotest.test_case "hash collision is not a livelock" `Quick
+            test_watchdog_collision_not_livelock;
+          Alcotest.test_case "true cycle still trips with the verifier" `Quick
+            test_watchdog_collision_true_cycle_still_trips;
+          Alcotest.test_case "alternating configurations still livelock" `Quick
+            test_watchdog_collision_alternating_cycle;
         ] );
       ( "adversary hook",
         [

@@ -78,6 +78,7 @@ module AggToy = struct
       sts
 
   let potential _ _ = None
+  let classify = None
 end
 
 module EAgg = Engine.Make (AggToy)
@@ -106,6 +107,7 @@ module StToyKeep = struct
   let step view = St_layer.step view ~get:Fun.id ~keep_shape:true
   let is_legal = St_layer.is_legal
   let potential _ _ = None
+  let classify = None
 end
 
 module ESt = Engine.Make (StToyKeep)

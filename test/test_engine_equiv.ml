@@ -122,6 +122,7 @@ module MaxProp = struct
     Array.for_all (fun s -> s = mx) states
 
   let potential _ _ = None
+  let classify = None
 end
 
 module EMax = Engine.Make (MaxProp)

@@ -40,6 +40,7 @@ module Dist0 = struct
     let total = ref 0 in
     Array.iteri (fun v s -> total := !total + abs (min s n - min d.(v) n)) states;
     Some !total
+  let classify = None
 end
 
 module EDist = Engine.Make (Dist0)
@@ -76,6 +77,7 @@ module Coloring = struct
       (Graph.edges g)
 
   let potential _ _ = None
+  let classify = None
 end
 
 module EColor = Engine.Make (Coloring)
@@ -95,6 +97,7 @@ module Restless = struct
   let step v = Some (1 - v.View.self)
   let is_legal _ _ = true
   let potential _ _ = None
+  let classify = None
 end
 
 module ERestless = Engine.Make (Restless)

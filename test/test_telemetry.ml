@@ -102,6 +102,71 @@ let test_json_rejects_garbage () =
         (Json.of_string s = None))
     [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
 
+(* The full escape grammar, exercised from both ends: a property over
+   the Json AST with strings drawn from arbitrary bytes (every control
+   character goes through the writer's escape path), and directed
+   \uXXXX decoding cases including surrogate pairs. Floats are excluded
+   from the generator: NaN/infinity have no JSON form. *)
+let json_gen =
+  let open QCheck2.Gen in
+  let raw_string n = string_size ~gen:char (int_bound n) in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [
+               return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun i -> Json.Int i) int;
+               map (fun s -> Json.Str s) (raw_string 12);
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (3, leaf);
+               (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (int_bound 4) (pair (raw_string 8) (self (n / 2)))) );
+             ])
+
+let prop_json_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500
+       ~name:"json writer/parser round-trip over arbitrary byte strings" json_gen (fun j ->
+         Json.of_string (Json.to_string j) = Some j))
+
+let test_json_unicode_escapes () =
+  List.iter
+    (fun (input, expect) ->
+      match Json.of_string input with
+      | Some (Json.Str s) -> Alcotest.(check string) input expect s
+      | _ -> Alcotest.failf "failed to parse %s" input)
+    [
+      ({|"\u0041"|}, "A");
+      ({|"\u00e9"|}, "\xc3\xa9") (* e-acute as two UTF-8 bytes *);
+      ({|"\u2713"|}, "\xe2\x9c\x93") (* check mark, three bytes *);
+      ({|"\ud83d\ude00"|}, "\xf0\x9f\x98\x80") (* surrogate pair -> U+1F600 *);
+      ({|"\b\f"|}, "\b\012");
+    ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %s" s)
+        true
+        (Json.of_string s = None))
+    [
+      {|"\u12g4"|} (* non-hex digit *);
+      {|"\u1_23"|} (* underscores are not hex *);
+      {|"\u123"|} (* too short *);
+      {|"\ud800"|} (* lone high surrogate *);
+      {|"\udc00"|} (* lone low surrogate *);
+      {|"\ud83dA"|} (* high surrogate not followed by a low one *);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry accounting on a real run *)
 
@@ -199,6 +264,8 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          prop_json_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
         ] );
       ( "telemetry",
         [
