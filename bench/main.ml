@@ -23,19 +23,28 @@ module E = Graph.Edge
    independent experiment cells (default: the machine's recommended
    domain count; 1 = the exact sequential path); [--profile] attaches
    engine profiling counters to every recorded engine run and prints
-   them per cell; remaining arguments select experiments. *)
-let seed_base, out_path, jobs, profiling, exp_args =
-  let rec go seed out jobs prof acc = function
-    | [] -> (seed, out, jobs, prof, List.rev acc)
+   them per cell; [--big-nmax N] trims the big-n tier (experiment BIG)
+   to cells with n <= N (the @bigbench alias runs the n=10^3 column
+   only — see SCALING.md); remaining arguments select experiments. *)
+let seed_base, out_path, jobs, profiling, big_nmax, exp_args =
+  let rec go seed out jobs prof nmax acc = function
+    | [] -> (seed, out, jobs, prof, nmax, List.rev acc)
     | "--seed" :: v :: rest ->
-        go (match int_of_string_opt v with Some s -> s | None -> seed) out jobs prof acc rest
-    | "--out" :: v :: rest -> go seed v jobs prof acc rest
+        go (match int_of_string_opt v with Some s -> s | None -> seed) out jobs prof nmax
+          acc rest
+    | "--out" :: v :: rest -> go seed v jobs prof nmax acc rest
     | "--jobs" :: v :: rest ->
-        go seed out (match int_of_string_opt v with Some j -> j | None -> jobs) prof acc rest
-    | "--profile" :: rest -> go seed out jobs true acc rest
-    | a :: rest -> go seed out jobs prof (a :: acc) rest
+        go seed out
+          (match int_of_string_opt v with Some j -> j | None -> jobs)
+          prof nmax acc rest
+    | "--profile" :: rest -> go seed out jobs true nmax acc rest
+    | "--big-nmax" :: v :: rest ->
+        go seed out jobs prof
+          (match int_of_string_opt v with Some m -> m | None -> nmax)
+          acc rest
+    | a :: rest -> go seed out jobs prof nmax (a :: acc) rest
   in
-  go 0xE57 "BENCH_repro.json" (Pool.default_jobs ()) false []
+  go 0xE57 "BENCH_repro.json" (Pool.default_jobs ()) false max_int []
     (Array.to_list Sys.argv |> List.tl)
 
 let pool = Pool.create ~jobs ()
@@ -50,21 +59,24 @@ let selected id = exp_args = [] || List.mem id exp_args
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_repro.json: every engine run an experiment performs is recorded
-   as {exp, algo, n, rounds, steps, max_bits, wall_ns} and the collection
-   is written at exit — the machine-readable trajectory perf PRs diff
-   against. wall_ns is wall-clock time measured inside the worker that
+   as {exp, algo, n, tier, rounds, steps, max_bits, wall_ns} and the
+   collection is written at exit — the machine-readable trajectory perf
+   PRs diff against. [tier] is "std" for the classic small-n cells and
+   "big" for the BIG experiment's 10^3..10^5 cells (the @bigbench
+   gate). wall_ns is wall-clock time measured inside the worker that
    runs the cell: Sys.time would report process CPU time, which
    aggregates across every domain and inflates each record as soon as
    cells run in parallel. *)
 
 let bench_records : Metrics.Json.t list ref = ref []
 
-let record ~exp ~algo ~n ~rounds ~steps ~max_bits ~wall_ns =
+let record ?(tier = "std") ~exp ~algo ~n ~rounds ~steps ~max_bits ~wall_ns () =
   Metrics.Json.(
     Obj
       [
-        ("exp", Str exp); ("algo", Str algo); ("n", Int n); ("rounds", Int rounds);
-        ("steps", Int steps); ("max_bits", Int max_bits); ("wall_ns", Int wall_ns);
+        ("exp", Str exp); ("algo", Str algo); ("n", Int n); ("tier", Str tier);
+        ("rounds", Int rounds); ("steps", Int steps); ("max_bits", Int max_bits);
+        ("wall_ns", Int wall_ns);
       ])
 
 let timed f =
@@ -147,7 +159,7 @@ let e1 () =
       pp_profile ppf profile;
       [
         record ~exp:"E1" ~algo:"mst" ~n ~rounds:r.ME.rounds ~steps:r.ME.steps
-          ~max_bits:r.ME.max_bits ~wall_ns;
+          ~max_bits:r.ME.max_bits ~wall_ns ();
       ]);
   Format.printf
     "shape: rounds polynomial in n; bits within a constant of log^2 n (space-optimal).@."
@@ -196,7 +208,7 @@ let e2 () =
       pp_profile ppf profile;
       [
         record ~exp:"E2" ~algo:"mdst" ~n ~rounds:r.DE.rounds ~steps:r.DE.steps
-          ~max_bits:r.DE.max_bits ~wall_ns;
+          ~max_bits:r.DE.max_bits ~wall_ns ();
       ]);
   Format.printf "shape: stable degree <= OPT+1 (FR-trees); bits O(log n).@."
 
@@ -322,9 +334,9 @@ let e5 () =
       pp_profile ppf profile;
       [
         record ~exp:"E5" ~algo:"bfs" ~n ~rounds:r.BE.rounds ~steps:r.BE.steps
-          ~max_bits:r.BE.max_bits ~wall_ns:r_ns;
+          ~max_bits:r.BE.max_bits ~wall_ns:r_ns ();
         record ~exp:"E5" ~algo:"adhoc-bfs" ~n ~rounds:a.AE.rounds ~steps:a.AE.steps
-          ~max_bits:a.AE.max_bits ~wall_ns:a_ns;
+          ~max_bits:a.AE.max_bits ~wall_ns:a_ns ();
       ]);
   Format.printf
     "shape: both O(n) rounds and O(log n) bits; the PLS-guided version also elects the \
@@ -576,7 +588,7 @@ let e11 () =
       pp_profile ppf profile;
       [
         record ~exp:"E11" ~algo:"spt" ~n ~rounds:r.SE.rounds ~steps:r.SE.steps
-          ~max_bits:r.SE.max_bits ~wall_ns;
+          ~max_bits:r.SE.max_bits ~wall_ns ();
       ]);
   Format.printf "shape: silent on the exact Dijkstra distances, O(log n) bits.@."
 
@@ -603,6 +615,95 @@ let e12 () =
       []);
   Format.printf
     "shape: the local search never worsens the metric tree's degree and tracks the      node-set optimum within one where the optimum is computable.@."
+
+(* ------------------------------------------------------------------ *)
+(* BIG — the big-n tier (SCALING.md): the struct-of-arrays engine on
+   sparse graphs at n = 10^3..10^5. The fixed-width builders (bfs, spt)
+   run to silence from adversarial registers through Engine_packed; the
+   variable-width builders (mst, mdst) run the boxed engine from the
+   designated boot configuration under an explicit step budget — their
+   convergence cost grows like n^3 steps (see the E1 table), so the
+   budget rows record honest partial progress, never silence. Records
+   carry tier "big"; the @bigbench alias regenerates the n=10^3 column
+   (--big-nmax 1000) and bench-diffs it against the committed
+   baseline. *)
+
+module BP = Bfs_builder.Engine_packed
+module SP = Spt_builder.Engine_packed
+
+let ebig () =
+  header "BIG" "big-n tier (SCALING.md): packed engine, sparse m = 2n";
+  Format.printf "%-5s %7s %8s %11s %6s %6s %11s@." "algo" "n" "rounds" "steps" "bits"
+    "legal" "wall ms";
+  let keep ns = List.filter (fun n -> n <= big_nmax) ns in
+  let cells =
+    List.map (fun n -> `Bfs n) (keep [ 1_000; 10_000; 100_000 ])
+    @ List.map (fun n -> `Spt n) (keep [ 1_000; 10_000; 100_000 ])
+    @ List.map (fun n -> `Mst n) (keep [ 1_000; 10_000 ])
+    @ List.map (fun n -> `Mdst n) (keep [ 1_000 ])
+  in
+  par_rows cells (fun ppf cell ->
+      let row ~exp ~algo ~n ~rounds ~steps ~max_bits ~legal ~silent ~profile wall_ns =
+        Format.fprintf ppf "%-5s %7d %8d %11d %6d %6b %11.1f%s@." algo n rounds steps
+          max_bits legal
+          (float_of_int wall_ns /. 1e6)
+          (if silent then "" else "  (step budget hit)");
+        pp_profile ppf profile;
+        [ record ~tier:"big" ~exp ~algo ~n ~rounds ~steps ~max_bits ~wall_ns () ]
+      in
+      match cell with
+      | `Bfs n ->
+          let rng = rng_of (1300 + n) in
+          let g = Generators.random_connected rng ~n ~m:(2 * n) in
+          let profile = new_profile () in
+          let r, wall_ns =
+            timed (fun () ->
+                BP.run ?profile g Scheduler.Synchronous rng ~init:(BP.adversarial rng g))
+          in
+          row ~exp:"E1" ~algo:"bfs" ~n ~rounds:r.BP.rounds ~steps:r.BP.steps
+            ~max_bits:r.BP.max_bits
+            ~legal:(Bfs_builder.is_bfs_tree g r.BP.states)
+            ~silent:r.BP.silent ~profile wall_ns
+      | `Spt n ->
+          let rng = rng_of (1400 + n) in
+          let g = Generators.random_connected rng ~n ~m:(2 * n) in
+          let profile = new_profile () in
+          let r, wall_ns =
+            timed (fun () ->
+                SP.run ?profile g Scheduler.Synchronous rng ~init:(SP.adversarial rng g))
+          in
+          row ~exp:"E2" ~algo:"spt" ~n ~rounds:r.SP.rounds ~steps:r.SP.steps
+            ~max_bits:r.SP.max_bits
+            ~legal:(Spt_builder.is_spt g r.SP.states)
+            ~silent:r.SP.silent ~profile wall_ns
+      | `Mst n ->
+          let rng = rng_of (1500 + n) in
+          let g = Generators.random_connected rng ~n ~m:(2 * n) in
+          let profile = new_profile () in
+          let r, wall_ns =
+            timed (fun () ->
+                ME.run ~max_steps:(20 * n) ?profile g Scheduler.Synchronous rng
+                  ~init:(ME.initial g))
+          in
+          row ~exp:"E1" ~algo:"mst" ~n ~rounds:r.ME.rounds ~steps:r.ME.steps
+            ~max_bits:r.ME.max_bits ~legal:r.ME.legal ~silent:r.ME.silent ~profile
+            wall_ns
+      | `Mdst n ->
+          let rng = rng_of (1600 + n) in
+          let g = Generators.random_connected rng ~n ~m:(2 * n) in
+          let profile = new_profile () in
+          let r, wall_ns =
+            timed (fun () ->
+                DE.run ~max_steps:(20 * n) ?profile g Scheduler.Synchronous rng
+                  ~init:(DE.initial g))
+          in
+          row ~exp:"E2" ~algo:"mdst" ~n ~rounds:r.DE.rounds ~steps:r.DE.steps
+            ~max_bits:r.DE.max_bits ~legal:r.DE.legal ~silent:r.DE.silent ~profile
+            wall_ns);
+  Format.printf
+    "shape: bfs/spt reach silence in O(diameter) rounds with flat O(n + m) memory; the \
+     label-stacked mst/mdst rows record budgeted progress (their step complexity is the \
+     object of study at small n, not a scaling target).@."
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel) *)
@@ -658,7 +759,7 @@ let () =
     [
       ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
       ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-      ("micro", micro);
+      ("BIG", ebig); ("micro", micro);
     ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) all;

@@ -182,6 +182,52 @@ let run_algo algo g sched rng ~adversarial ~faults ~max_rounds ?(meta = []) ?met
   | "fullinfo-mdst" -> generic (module Fullinfo.Mdst_instance.P) ~note:(fun _ -> "")
   | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
 
+(* The flat struct-of-arrays executor (SCALING.md). No event/fault
+   hooks by design — the equivalence suite pins it step-identical to
+   the boxed engine, so tracing stays on the boxed path — but the
+   telemetry series is supported and identical. *)
+let packed_algos = [ "bfs"; "spt"; "adhoc-bfs" ]
+
+let run_algo_packed algo g sched rng ~adversarial ~max_rounds ?(meta = []) ?metrics_out
+    () =
+  let generic (type s) (module B : Protocol.PACKED with type state = s) ~note =
+    let module E = Engine_packed.Make (B) in
+    let telemetry = Option.map (fun _ -> Telemetry.create ()) metrics_out in
+    let init = if adversarial then E.adversarial rng g else E.initial g in
+    let r = E.run ~max_rounds ?telemetry g sched rng ~init in
+    (match (metrics_out, telemetry) with
+    | Some path, Some tel ->
+        Telemetry.write_json ~meta path tel;
+        Format.printf "metrics      : written to %s (%a)@." path Telemetry.pp tel
+    | _ -> ());
+    {
+      algo;
+      silent = r.E.silent;
+      legal = r.E.legal;
+      rounds = r.E.rounds;
+      steps = r.E.steps;
+      max_bits = r.E.max_bits;
+      note = note r.E.states;
+      verdict = None;
+      failed = false;
+    }
+  in
+  match algo with
+  | "bfs" ->
+      generic
+        (module Bfs_builder.Packed)
+        ~note:(fun sts -> Printf.sprintf "phi = %d" (Bfs_builder.potential g sts))
+  | "spt" ->
+      generic
+        (module Spt_builder.Packed)
+        ~note:(fun sts -> Printf.sprintf "potential = %d" (Spt_builder.potential g sts))
+  | "adhoc-bfs" -> generic (module Adhoc_bfs.Packed) ~note:(fun _ -> "")
+  | other ->
+      failwith
+        (Printf.sprintf "--packed supports %s (got %S)"
+           (String.concat ", " packed_algos)
+           other)
+
 let algos = Repro_campaign.Campaign.known_algos
 
 open Cmdliner
@@ -244,8 +290,21 @@ let trace_out_arg =
            $(docv); consume with $(b,repro-cli explain). Schema in OBSERVABILITY.md. \
            Tracing draws no randomness, so the run's outcome is unchanged.")
 
+let packed_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "packed" ]
+        ~doc:
+          "Execute on the flat struct-of-arrays engine (see SCALING.md) instead of the \
+           boxed reference engine. Step-for-step identical on the same seed (pinned by \
+           the equivalence suite) but sized for large $(b,--nodes). Supported for bfs, \
+           spt and adhoc-bfs; incompatible with $(b,--faults) and $(b,--trace-out), \
+           which need the boxed engine's event hooks.")
+
 let run_cmd =
-  let run algo family n seed sched adversarial faults max_rounds metrics_out trace_out =
+  let run algo family n seed sched adversarial faults max_rounds metrics_out trace_out
+      packed =
     (* The single [seed] determines the topology, the initial configuration,
        and every scheduler/fault coin flip, so telemetry runs are exactly
        reproducible; the seed is recorded in the metrics meta block. *)
@@ -255,6 +314,17 @@ let run_cmd =
     | Some gen -> (
         match Scheduler.by_name sched with
         | None -> `Error (false, Printf.sprintf "unknown scheduler %S" sched)
+        | Some _ when packed && not (List.mem algo packed_algos) ->
+            `Error
+              ( false,
+                Printf.sprintf "--packed supports %s (got %S)"
+                  (String.concat ", " packed_algos)
+                  algo )
+        | Some _ when packed && (faults > 0 || trace_out <> None) ->
+            `Error
+              ( false,
+                "--packed is incompatible with --faults and --trace-out (the packed \
+                 engine has no event hooks; drop --packed for fault/trace runs)" )
         | Some scheduler ->
             let g = gen rng ~n in
             Format.printf "graph: %s n=%d m=%d@." family (Graph.n g) (Graph.m g);
@@ -267,8 +337,12 @@ let run_cmd =
                 ]
             in
             let o =
-              run_algo algo g scheduler rng ~adversarial ~faults ~max_rounds ~meta
-                ?metrics_out ?trace_out ()
+              if packed then
+                run_algo_packed algo g scheduler rng ~adversarial ~max_rounds ~meta
+                  ?metrics_out ()
+              else
+                run_algo algo g scheduler rng ~adversarial ~faults ~max_rounds ~meta
+                  ?metrics_out ?trace_out ()
             in
             report o;
             if o.failed then exit 1;
@@ -278,7 +352,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ algo_arg $ graph_arg $ n_arg $ seed_arg $ sched_arg $ adversarial_arg
-       $ faults_arg $ max_rounds_arg $ metrics_out_arg $ trace_out_arg))
+       $ faults_arg $ max_rounds_arg $ metrics_out_arg $ trace_out_arg $ packed_arg))
 
 let sweep_cmd =
   let sweep algo family ns trials seed sched jobs =

@@ -79,3 +79,67 @@ module P = struct
 end
 
 module Engine = Repro_runtime.Engine.Make (P)
+
+module Packed = struct
+  include P
+
+  (* Lanes: 0=parent, 1=dist (see SCALING.md). *)
+  let words = 2
+  let pack ~n:_ (s : state) = [| s.parent; s.dist |]
+  let unpack ~n:_ a = { parent = a.(0); dist = a.(1) }
+
+  let step_packed (pv : Repro_runtime.Pview.t) =
+    let open Repro_runtime in
+    let bank = pv.Pview.bank in
+    let par = bank.(0) and dis = bank.(1) in
+    let id = pv.Pview.focus in
+    let n = pv.Pview.n in
+    let row = pv.Pview.row and col = pv.Pview.col in
+    let s_parent = par.(id) and s_dist = dis.(id) in
+    (* [target]: the root pins (-1, 0); everyone else joins the first
+       minimum-distance neighbor in increasing id order (the boxed
+       scan's strict-< keeps the earliest minimum). *)
+    let fp = ref (-1) and fd = ref 0 in
+    if id <> 0 then begin
+      let has = ref false in
+      let bd = ref 0 and bp = ref 0 in
+      for i = row.(id) to row.(id + 1) - 1 do
+        let u = col.(i) in
+        if not !has then begin
+          has := true;
+          bd := dis.(u);
+          bp := u
+        end
+        else if dis.(u) < !bd then begin
+          bd := dis.(u);
+          bp := u
+        end
+      done;
+      if !has && !bd + 1 <= n then begin
+        fp := !bp;
+        fd := !bd + 1
+      end
+      else begin
+        fp := -1;
+        fd := n
+      end
+    end;
+    let keep =
+      s_dist = !fd
+      &&
+      if id = 0 then s_parent = -1
+      else
+        match Pview.index pv s_parent with
+        | i -> dis.(col.(i)) + 1 = s_dist
+        | exception Not_found -> false
+    in
+    if keep then false
+    else if s_parent = !fp && s_dist = !fd then false
+    else begin
+      pv.Pview.move.(0) <- !fp;
+      pv.Pview.move.(1) <- !fd;
+      true
+    end
+end
+
+module Engine_packed = Repro_runtime.Engine_packed.Make (Packed)

@@ -37,5 +37,16 @@ end
 
 module Engine = Repro_runtime.Engine.Make (P)
 
+module Packed = struct
+  include P
+
+  let words = St_layer.words
+  let pack ~n:_ s = St_layer.pack s
+  let unpack ~n:_ a = St_layer.unpack a
+  let step_packed pv = St_layer.step_packed pv ~keep_shape:false
+end
+
+module Engine_packed = Repro_runtime.Engine_packed.Make (Packed)
+
 let verify (view : St_layer.t View.t) =
   View.for_all (fun _ _ (u : St_layer.t) -> u.dist >= view.View.self.St_layer.dist - 1) view

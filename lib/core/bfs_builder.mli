@@ -18,6 +18,12 @@ module P : Repro_runtime.Protocol.S with type state = St_layer.t
 
 module Engine : module type of Repro_runtime.Engine.Make (P)
 
+(** The same protocol with the 3-lane {!St_layer} codec, for the
+    struct-of-arrays engine (the big-n bench tier; see SCALING.md). *)
+module Packed : Repro_runtime.Protocol.PACKED with type state = St_layer.t
+
+module Engine_packed : module type of Repro_runtime.Engine_packed.Make (Packed)
+
 (** The Section III potential [Σ_u |d(u) − dist_G(u, 0)|], computed from
     the registers (illegal structures contribute the [n]-capped
     defect). *)

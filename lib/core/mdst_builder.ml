@@ -769,3 +769,175 @@ module P = struct
 end
 
 module Engine = Repro_runtime.Engine.Make (P)
+
+(* Register codec (see Mst_builder.Codec): flat int-array serialization
+   of the variable-length MDST state, for bits accounting and the
+   round-trip property — not an engine representation. *)
+module Codec = struct
+  module C = Repro_runtime.Codec
+
+  type nonrec state = state
+
+  let push_edge w (e : E.t) =
+    C.push w e.E.u;
+    C.push w e.E.v;
+    C.push w e.E.w
+
+  let take_edge r =
+    let u = C.take r in
+    let v = C.take r in
+    let w = C.take r in
+    E.make u v w
+
+  let push_seq w l = C.push_array w C.push_pair (Nca.to_pairs l)
+  let take_seq r = Nca.of_pairs (C.take_array r C.take_pair)
+
+  let push_mark w (m : mark) =
+    push_edge w m.witness;
+    push_seq w m.su;
+    push_seq w m.sv;
+    C.push w m.rank;
+    push_seq w m.zseq
+
+  let take_mark r =
+    let witness = take_edge r in
+    let su = take_seq r in
+    let sv = take_seq r in
+    let rank = C.take r in
+    let zseq = take_seq r in
+    { witness; su; sv; rank; zseq }
+
+  let push_icand w (c : icand) =
+    C.push w c.z;
+    C.push w c.zdeg;
+    C.push w c.rank;
+    push_edge w c.e;
+    push_seq w c.su;
+    push_seq w c.sv;
+    push_edge w c.f;
+    C.push w c.f_child;
+    push_seq w c.f_child_seq
+
+  let take_icand r =
+    let z = C.take r in
+    let zdeg = C.take r in
+    let rank = C.take r in
+    let e = take_edge r in
+    let su = take_seq r in
+    let sv = take_seq r in
+    let f = take_edge r in
+    let f_child = C.take r in
+    let f_child_seq = take_seq r in
+    { z; zdeg; rank; e; su; sv; f; f_child; f_child_seq }
+
+  let push_mcand w (m : mcand) =
+    push_edge w m.me;
+    push_seq w m.msu;
+    push_seq w m.msv;
+    C.push w m.mrank
+
+  let take_mcand r =
+    let me = take_edge r in
+    let msu = take_seq r in
+    let msv = take_seq r in
+    let mrank = C.take r in
+    { me; msu; msv; mrank }
+
+  let push_veto w (v : veto) =
+    push_icand w v.vc;
+    C.push_bool w v.hard
+
+  let take_veto r =
+    let vc = take_icand r in
+    let hard = C.take_bool r in
+    { vc; hard }
+
+  let push_agg push_v w (a : _ Aggregate.t) =
+    push_v w a.Aggregate.value;
+    C.push w a.Aggregate.hops
+
+  let take_agg take_v r =
+    let value = take_v r in
+    let hops = C.take r in
+    { Aggregate.value; hops }
+
+  let pack ~n:_ (s : state) =
+    let w = C.writer () in
+    C.push w s.st.St_layer.parent;
+    C.push w s.st.St_layer.root;
+    C.push w s.st.St_layer.dist;
+    C.push w s.size;
+    C.push w s.heavy;
+    push_seq w s.seq;
+    C.push w s.deg;
+    C.push_opt w (push_agg C.push) s.dmax;
+    C.push_bool w s.good;
+    C.push_opt w push_mark s.mark;
+    C.push w s.frag;
+    C.push w s.fdist;
+    C.push_opt w (push_agg C.push) s.hub_agg;
+    C.push_opt w (push_agg push_mcand) s.mark_agg;
+    C.push_opt w (push_agg push_icand) s.imp_agg;
+    C.push_opt w (push_agg push_veto) s.veto_agg;
+    C.push_opt w
+      (fun w (e, d) ->
+        push_edge w e;
+        C.push w d)
+      s.blocked;
+    C.push_opt w
+      (fun w (sess : msession) ->
+        push_icand w sess.icand;
+        C.push w sess.next)
+      s.sw;
+    C.contents w
+
+  let unpack ~n:_ a =
+    let r = C.reader a in
+    let parent = C.take r in
+    let root = C.take r in
+    let dist = C.take r in
+    let size = C.take r in
+    let heavy = C.take r in
+    let seq = take_seq r in
+    let deg = C.take r in
+    let dmax = C.take_opt r (take_agg C.take) in
+    let good = C.take_bool r in
+    let mark = C.take_opt r take_mark in
+    let frag = C.take r in
+    let fdist = C.take r in
+    let hub_agg = C.take_opt r (take_agg C.take) in
+    let mark_agg = C.take_opt r (take_agg take_mcand) in
+    let imp_agg = C.take_opt r (take_agg take_icand) in
+    let veto_agg = C.take_opt r (take_agg take_veto) in
+    let blocked =
+      C.take_opt r (fun r ->
+          let e = take_edge r in
+          let d = C.take r in
+          (e, d))
+    in
+    let sw =
+      C.take_opt r (fun r ->
+          let icand = take_icand r in
+          let next = C.take r in
+          { icand; next })
+    in
+    C.expect_end r;
+    {
+      st = { St_layer.parent; root; dist };
+      size;
+      heavy;
+      seq;
+      deg;
+      dmax;
+      good;
+      mark;
+      frag;
+      fdist;
+      hub_agg;
+      mark_agg;
+      imp_agg;
+      veto_agg;
+      blocked;
+      sw;
+    }
+end

@@ -114,6 +114,11 @@ module P : Repro_runtime.Protocol.S with type state = state
 
 module Engine : module type of Repro_runtime.Engine.Make (P)
 
+(** Flat int-array serialization of the MDST register (see
+    {!Mst_builder.Codec}): round-trip-pinned, grounds the bits
+    accounting of PAPER_MAP.md. *)
+module Codec : Repro_runtime.Protocol.CODEC with type state = state
+
 val tree_of : Repro_graph.Graph.t -> state array -> Repro_graph.Tree.t option
 
 (** Legality: the encoded structure is a spanning tree that admits an FR

@@ -577,3 +577,115 @@ module P = struct
 end
 
 module Engine = Repro_runtime.Engine.Make (P)
+
+(* Register codec: the nested, variable-length MST state serialized to a
+   flat int array through the self-delimiting encodings of
+   Repro_runtime.Codec. The MST register has no fixed width — [seq] can
+   transiently hold up to tree-depth pairs — so this codec does not
+   drive the packed engine; it grounds the bits accounting of
+   PAPER_MAP.md and is round-trip-pinned by test_packed. *)
+module Codec = struct
+  module C = Repro_runtime.Codec
+
+  type nonrec state = state
+
+  let push_edge w (e : E.t) =
+    C.push w e.E.u;
+    C.push w e.E.v;
+    C.push w e.E.w
+
+  let take_edge r =
+    let u = C.take r in
+    let v = C.take r in
+    let w = C.take r in
+    E.make u v w
+
+  let push_seq w l = C.push_array w C.push_pair (Nca.to_pairs l)
+  let take_seq r = Nca.of_pairs (C.take_array r C.take_pair)
+
+  let push_entry w (en : FL.entry) =
+    C.push w en.FL.frag;
+    C.push w en.FL.fdist;
+    C.push_opt w push_edge en.FL.out;
+    C.push w en.FL.odist
+
+  let take_entry r =
+    let frag = C.take r in
+    let fdist = C.take r in
+    let out = C.take_opt r take_edge in
+    let odist = C.take r in
+    { FL.frag; fdist; out; odist }
+
+  let push_cand w c =
+    C.push w c.lvl;
+    push_edge w c.e;
+    push_seq w c.su;
+    push_seq w c.sv
+
+  let take_cand r =
+    let lvl = C.take r in
+    let e = take_edge r in
+    let su = take_seq r in
+    let sv = take_seq r in
+    { lvl; e; su; sv }
+
+  let push_cut w c =
+    push_cand w c.cand;
+    push_edge w c.f;
+    C.push w c.f_child;
+    push_seq w c.f_child_seq
+
+  let take_cut r =
+    let cand = take_cand r in
+    let f = take_edge r in
+    let f_child = C.take r in
+    let f_child_seq = take_seq r in
+    { cand; f; f_child; f_child_seq }
+
+  let push_agg push_v w (a : _ Aggregate.t) =
+    push_v w a.Aggregate.value;
+    C.push w a.Aggregate.hops
+
+  let take_agg take_v r =
+    let value = take_v r in
+    let hops = C.take r in
+    { Aggregate.value; hops }
+
+  let pack ~n:_ (s : state) =
+    let w = C.writer () in
+    C.push w s.st.St_layer.parent;
+    C.push w s.st.St_layer.root;
+    C.push w s.st.St_layer.dist;
+    C.push w s.size;
+    C.push w s.heavy;
+    push_seq w s.seq;
+    C.push_array w push_entry s.frags;
+    C.push_opt w (push_agg push_cand) s.cand_agg;
+    C.push_opt w (push_agg push_cut) s.cut_agg;
+    C.push_opt w
+      (fun w (sess : session) ->
+        push_cut w sess.cut;
+        C.push w sess.next)
+      s.sw;
+    C.contents w
+
+  let unpack ~n:_ a =
+    let r = C.reader a in
+    let parent = C.take r in
+    let root = C.take r in
+    let dist = C.take r in
+    let size = C.take r in
+    let heavy = C.take r in
+    let seq = take_seq r in
+    let frags = C.take_array r take_entry in
+    let cand_agg = C.take_opt r (take_agg take_cand) in
+    let cut_agg = C.take_opt r (take_agg take_cut) in
+    let sw =
+      C.take_opt r (fun r ->
+          let cut = take_cut r in
+          let next = C.take r in
+          { cut; next })
+    in
+    C.expect_end r;
+    { st = { St_layer.parent; root; dist }; size; heavy; seq; frags; cand_agg; cut_agg; sw }
+end

@@ -71,6 +71,13 @@ module P : Repro_runtime.Protocol.S with type state = state
 
 module Engine : module type of Repro_runtime.Engine.Make (P)
 
+(** Flat int-array serialization of the (variable-length) MST register:
+    [unpack ~n (pack ~n s) = s] is a qcheck property. The register has
+    no fixed width — [seq] grows transiently — so the codec grounds the
+    bits accounting (PAPER_MAP.md) rather than driving the packed
+    engine; see SCALING.md. *)
+module Codec : Repro_runtime.Protocol.CODEC with type state = state
+
 (** The tree currently encoded by the registers, if any. *)
 val tree_of : Repro_graph.Graph.t -> state array -> Repro_graph.Tree.t option
 

@@ -62,7 +62,10 @@ module P = struct
     {
       parent = Random.State.int rng (n + 1) - 1;
       root = Random.State.int rng n;
-      wdist = Random.State.int rng (infinity_of g);
+      (* Random.State.int rejects bounds >= 2^30; on big-n graphs (the
+         BIG bench tier) the weight sum exceeds it, so clamp — draws on
+         every smaller graph are unchanged. *)
+      wdist = Random.State.int rng (min (infinity_of g) 0x3FFF_FFFF);
       hops = Random.State.int rng (n + 1);
     }
 
@@ -145,6 +148,91 @@ module P = struct
         else "hops")
 end
 
+module Packed = struct
+  include P
+
+  (* Lanes: 0=parent, 1=root, 2=wdist, 3=hops (see SCALING.md). *)
+  let words = 4
+  let pack ~n:_ (s : state) = [| s.parent; s.root; s.wdist; s.hops |]
+  let unpack ~n:_ a = { parent = a.(0); root = a.(1); wdist = a.(2); hops = a.(3) }
+
+  (* [P.step] on the flat bank: same usable predicate, same lexicographic
+     (root, wdist+w, hops+1, id) best, same tie-breaking. Pinned against
+     the boxed step by test_packed. *)
+  let step_packed (pv : Repro_runtime.Pview.t) =
+    let open Repro_runtime in
+    let bank = pv.Pview.bank in
+    let par = bank.(0) and roo = bank.(1) and wdi = bank.(2) and hop = bank.(3) in
+    let id = pv.Pview.focus in
+    let n = pv.Pview.n in
+    let row = pv.Pview.row and col = pv.Pview.col and wgt = pv.Pview.wgt in
+    let s_parent = par.(id) and s_root = roo.(id) in
+    let s_wdist = wdi.(id) and s_hops = hop.(id) in
+    (* usable u := roo.(u) >= 0 && wdi.(u) >= 0 && hop.(u) + 1 <= n - 1,
+       spelled out at each use — a local predicate closure would
+       allocate on the hot path. *)
+    let p_idx =
+      if s_parent = -1 then -1
+      else match Pview.index pv s_parent with i -> i | exception Not_found -> -1
+    in
+    let valid =
+      if s_parent = -1 then s_root = id && s_wdist = 0 && s_hops = 0
+      else
+        p_idx >= 0
+        &&
+        let p = col.(p_idx) in
+        roo.(p) >= 0
+        && wdi.(p) >= 0
+        && hop.(p) + 1 <= n - 1
+        && s_root = roo.(p)
+        && s_wdist = wdi.(p) + wgt.(p_idx)
+        && s_hops = hop.(p) + 1
+    in
+    let has_best = ref false in
+    let br = ref 0 and bwd = ref 0 and bh = ref 0 and bu = ref 0 in
+    for i = row.(id) to row.(id + 1) - 1 do
+      let u = col.(i) in
+      if roo.(u) >= 0 && wdi.(u) >= 0 && hop.(u) + 1 <= n - 1 then begin
+        let r = roo.(u) and wd = wdi.(u) + wgt.(i) and h = hop.(u) + 1 in
+        if
+          (not !has_best)
+          || r < !br
+          || (r = !br
+             && (wd < !bwd || (wd = !bwd && (h < !bh || (h = !bh && u < !bu)))))
+        then begin
+          has_best := true;
+          br := r;
+          bwd := wd;
+          bh := h;
+          bu := u
+        end
+      end
+    done;
+    let better_exists =
+      id < s_root
+      || (!has_best && (!br < s_root || (!br = s_root && !bwd < s_wdist)))
+    in
+    if valid && not better_exists then false
+    else begin
+      let fp = ref (-1) and fr = ref id and fwd = ref 0 and fh = ref 0 in
+      if !has_best && !br < id then begin
+        fp := !bu;
+        fr := !br;
+        fwd := !bwd;
+        fh := !bh
+      end;
+      if !fp = s_parent && !fr = s_root && !fwd = s_wdist && !fh = s_hops then false
+      else begin
+        pv.Pview.move.(0) <- !fp;
+        pv.Pview.move.(1) <- !fr;
+        pv.Pview.move.(2) <- !fwd;
+        pv.Pview.move.(3) <- !fh;
+        true
+      end
+    end
+end
+
 module Engine = Repro_runtime.Engine.Make (P)
+module Engine_packed = Repro_runtime.Engine_packed.Make (Packed)
 
 let is_spt = P.is_legal

@@ -20,6 +20,13 @@ module P : Repro_runtime.Protocol.S with type state = state
 
 module Engine : module type of Repro_runtime.Engine.Make (P)
 
+(** The same protocol on a 4-lane register bank
+    ([parent], [root], [wdist], [hops]), for the struct-of-arrays engine
+    (the big-n bench tier; see SCALING.md). *)
+module Packed : Repro_runtime.Protocol.PACKED with type state = state
+
+module Engine_packed : module type of Repro_runtime.Engine_packed.Make (Packed)
+
 (** Weighted single-source distances (Dijkstra) from node 0 — the legality
     reference. *)
 val dijkstra : Repro_graph.Graph.t -> src:int -> int array

@@ -94,6 +94,97 @@ let step view ~get ~keep_shape =
     if fresh = s then None else Some fresh
   end
 
+(* ------------------------------------------------------------------ *)
+(* Packed representation: lanes 0=parent, 1=root, 2=dist. The layer's
+   fields are plain small ints, so the codec is the identity on each
+   field (see SCALING.md for the bank layout and PAPER_MAP.md for the
+   bits accounting). *)
+
+let words = 3
+let pack (s : t) = [| s.parent; s.root; s.dist |]
+let unpack a = { parent = a.(0); root = a.(1); dist = a.(2) }
+
+(* [step ~get:Fun.id] translated to int lanes: same usable predicate,
+   same lexicographic (root, dist+1, id) best-join, same tie-breaking.
+   Pinned against the boxed step pointwise and whole-run by
+   test_packed. *)
+let step_packed (pv : Repro_runtime.Pview.t) ~keep_shape =
+  let open Repro_runtime in
+  let bank = pv.Pview.bank in
+  let par = bank.(0) and roo = bank.(1) and dis = bank.(2) in
+  let id = pv.Pview.focus in
+  let n = pv.Pview.n in
+  let row = pv.Pview.row and col = pv.Pview.col in
+  let s_parent = par.(id) and s_root = roo.(id) and s_dist = dis.(id) in
+  (* Best joinable neighbor, lexicographic on (root, dist+1, id); the
+     CSR segment is in increasing neighbor order like View.nbr_ids. *)
+  let has_best = ref false in
+  let br = ref 0 and bd = ref 0 and bu = ref 0 in
+  for i = row.(id) to row.(id + 1) - 1 do
+    let u = col.(i) in
+    let ur = roo.(u) and ud = dis.(u) in
+    if ur >= 0 && ud >= 0 && ud + 1 <= n - 1 then begin
+      let d = ud + 1 in
+      if
+        (not !has_best)
+        || ur < !br
+        || (ur = !br && (d < !bd || (d = !bd && u < !bu)))
+      then begin
+        has_best := true;
+        br := ur;
+        bd := d;
+        bu := u
+      end
+    end
+  done;
+  let p_idx =
+    if s_parent = -1 then -1
+    else match Pview.index pv s_parent with i -> i | exception Not_found -> -1
+  in
+  let parent_usable =
+    p_idx >= 0
+    &&
+    let p = col.(p_idx) in
+    roo.(p) >= 0 && dis.(p) >= 0 && dis.(p) + 1 <= n - 1
+  in
+  let valid =
+    if s_parent = -1 then s_root = id && s_dist = 0
+    else
+      parent_usable
+      &&
+      let p = col.(p_idx) in
+      s_root = roo.(p) && s_dist = dis.(p) + 1
+  in
+  let better_exists =
+    id < s_root
+    || (!has_best
+       &&
+       if keep_shape then !br < s_root
+       else !br < s_root || (!br = s_root && !bd < s_dist))
+  in
+  if valid && not better_exists then false
+  else begin
+    let r_best = if !has_best then min id !br else id in
+    (* fresh defaults to self_root id; built directly in the move
+       scratch (allocation-free — the engine only reads it on [true]). *)
+    let mv = pv.Pview.move in
+    mv.(0) <- -1;
+    mv.(1) <- id;
+    mv.(2) <- 0;
+    if r_best <> id then
+      if keep_shape && parent_usable && roo.(col.(p_idx)) = r_best then begin
+        mv.(0) <- s_parent;
+        mv.(1) <- r_best;
+        mv.(2) <- dis.(col.(p_idx)) + 1
+      end
+      else if !has_best && !br = r_best then begin
+        mv.(0) <- !bu;
+        mv.(1) <- !br;
+        mv.(2) <- !bd
+      end;
+    not (mv.(0) = s_parent && mv.(1) = s_root && mv.(2) = s_dist)
+  end
+
 let is_legal g sts =
   let n = Graph.n g in
   Array.length sts = n

@@ -43,6 +43,22 @@ val step : 'a Repro_runtime.View.t -> get:('a -> t) -> keep_shape:bool -> t opti
     guard that must hold before higher layers may act at this node). *)
 val valid : 'a Repro_runtime.View.t -> get:('a -> t) -> bool
 
+(** {2 Packed representation}
+
+    The layer's register is three int lanes — 0 = [parent], 1 = [root],
+    2 = [dist] — shared by every packed protocol that embeds it (see
+    SCALING.md). *)
+
+val words : int
+
+val pack : t -> int array
+val unpack : int array -> t
+
+(** [step ~get:Fun.id] on the flat bank: same guard, same tie-breaking,
+    writing the packed move into [pv.move] (the {!Repro_runtime.Protocol.PACKED}
+    convention). Equivalence with {!step} is a qcheck property. *)
+val step_packed : Repro_runtime.Pview.t -> keep_shape:bool -> bool
+
 (** [is_legal g sts] — global legality of the layer (spanning tree rooted
     at the min-id node with correct root/dist fields). *)
 val is_legal : Repro_graph.Graph.t -> t array -> bool

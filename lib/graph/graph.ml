@@ -28,7 +28,34 @@ type t = {
   n : int;
   edges : Edge.t array;
   adj : (int * int) array array; (* (neighbor, weight), sorted by neighbor *)
+  (* CSR mirror of [adj]: node v's neighbors are col.[row.(v) .. row.(v+1)-1]
+     (increasing), weights aligned in wgt. Three flat arrays instead of n
+     boxed pair-arrays, so a neighbor scan is one contiguous read. *)
+  csr_row : int array;
+  csr_col : int array;
+  csr_wgt : int array;
+  (* Precomputed at construction: [total_weight] is on the per-node
+     hot path of spt's adversarial initialization (its infinity bound),
+     and summing m edges per query made that O(n·m). *)
+  total_w : int;
 }
+
+let csr_of_adj n adj =
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + Array.length adj.(v)
+  done;
+  let m2 = row.(n) in
+  let col = Array.make (max 1 m2) 0 and wgt = Array.make (max 1 m2) 0 in
+  for v = 0 to n - 1 do
+    let base = row.(v) in
+    Array.iteri
+      (fun i (u, w) ->
+        col.(base + i) <- u;
+        wgt.(base + i) <- w)
+      adj.(v)
+  done;
+  (row, col, wgt)
 
 let of_edge_list n es =
   if n <= 0 then invalid_arg "Graph.of_edge_list: n must be positive";
@@ -57,13 +84,18 @@ let of_edge_list n es =
       fill.(e.v) <- fill.(e.v) + 1)
     es;
   Array.iter (fun a -> Array.sort compare a) adj;
-  { n; edges = Array.of_list es; adj }
+  let csr_row, csr_col, csr_wgt = csr_of_adj n adj in
+  let total_w = List.fold_left (fun acc (e : Edge.t) -> acc + e.w) 0 es in
+  { n; edges = Array.of_list es; adj; csr_row; csr_col; csr_wgt; total_w }
 
 let of_edges n es =
   of_edge_list n (List.map (fun (u, v, w) -> Edge.make u v w) es)
 
 let n g = g.n
 let m g = Array.length g.edges
+let csr_row g = g.csr_row
+let csr_col g = g.csr_col
+let csr_wgt g = g.csr_wgt
 let edges g = Array.copy g.edges
 let neighbors g v = g.adj.(v)
 let degree g v = Array.length g.adj.(v)
@@ -97,7 +129,7 @@ let find_edge g u v =
 
 let fold_edges f init g = Array.fold_left (fun acc e -> f e acc) init g.edges
 let iter_edges f g = Array.iter f g.edges
-let total_weight g = fold_edges (fun e acc -> acc + e.Edge.w) 0 g
+let total_weight g = g.total_w
 
 let distinct_weights g =
   let tbl = Hashtbl.create (m g) in

@@ -64,6 +64,25 @@ val neighbors : t -> int -> (int * int) array
 (** [degree g v] is the number of neighbors of [v] in [g]. *)
 val degree : t -> int -> int
 
+(** {2 CSR adjacency}
+
+    The same adjacency as {!neighbors}, stored as three flat arrays in
+    compressed-sparse-row form: node [v]'s neighbors are
+    [csr_col g].(i) for [i] in [(csr_row g).(v) .. (csr_row g).(v+1) - 1],
+    in increasing neighbor order, with the edge weight aligned at
+    [(csr_wgt g).(i)]. Built once at construction; the flat layout is
+    what the packed engine scans (see SCALING.md). The returned arrays
+    are shared: do not mutate. *)
+
+(** Row-pointer array of length [n+1]. *)
+val csr_row : t -> int array
+
+(** Column (neighbor id) array of length [2m]. *)
+val csr_col : t -> int array
+
+(** Weight array aligned with {!csr_col}. *)
+val csr_wgt : t -> int array
+
 (** Maximum degree over all nodes. *)
 val max_degree : t -> int
 
@@ -83,7 +102,8 @@ val fold_edges : (Edge.t -> 'a -> 'a) -> 'a -> t -> 'a
 (** [iter_edges f g] iterates over all edges. *)
 val iter_edges : (Edge.t -> unit) -> t -> unit
 
-(** Total weight of all edges. *)
+(** Total weight of all edges. Precomputed at construction (O(1)):
+    builders query it per node when initializing adversarial states. *)
 val total_weight : t -> int
 
 (** [distinct_weights g] is [true] iff all raw weights are pairwise

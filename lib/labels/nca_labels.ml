@@ -17,6 +17,7 @@ let pp ppf l =
 let size_bits n l = Array.length l * (Space.id_bits n + Space.dist_bits n)
 let of_root r = [| (r, 0) |]
 let of_pairs a = Array.copy a
+let to_pairs (l : label) = Array.copy l
 
 let extend_heavy l =
   let l = Array.copy l in

@@ -38,6 +38,10 @@ val of_root : int -> label
     normal construction. *)
 val of_pairs : (int * int) array -> label
 
+(** The raw [(head, pos)] pairs, as a fresh array — the inverse of
+    {!of_pairs}, used by the register codecs (see SCALING.md). *)
+val to_pairs : label -> (int * int) array
+
 (** [extend_heavy l] — label of the heavy child of a node labeled [l]. *)
 val extend_heavy : label -> label
 

@@ -38,6 +38,13 @@ let remove t v =
     t.prev.(nx) <- p
   end
 
+let iter f t =
+  let v = ref t.next.(t.sentinel) in
+  while !v <> t.sentinel do
+    f !v;
+    v := t.next.(!v)
+  done
+
 let fold f init t =
   let acc = ref init in
   let v = ref t.next.(t.sentinel) in

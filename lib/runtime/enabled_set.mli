@@ -28,6 +28,12 @@ val remove : t -> int -> unit
 val cardinal : t -> int
 val is_empty : t -> bool
 
+(** [iter f t] visits members in {e unspecified} order (insertion order
+    of the underlying list) in O(cardinal), allocation-free — the packed
+    engine's central picks use it with preallocated scan closures. Use
+    {!sorted} when the enumeration order is observable. *)
+val iter : (int -> unit) -> t -> unit
+
 (** [fold f init t] folds over members in {e unspecified} order
     (insertion order of the underlying list) in O(cardinal). Use
     {!sorted} when the enumeration order is observable. *)

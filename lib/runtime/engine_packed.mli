@@ -1,0 +1,58 @@
+(** Struct-of-arrays executor for fixed-width ({!Protocol.PACKED})
+    protocols.
+
+    Same trajectory semantics as {!Engine.Make}[.run] and
+    [.run_reference] — the equivalence suite pins steps, rounds,
+    max_bits, and final configurations byte-identical on shared seeds
+    across the whole daemon roster — but the configuration lives in a
+    flat int register bank ([P.words] lanes of length n), neighbor scans
+    walk the graph's CSR arrays, and all scratch state is preallocated,
+    so the steady-state loop performs no allocation (pinned by a
+    [Gc.minor_words] test; see SCALING.md for the memory model and the
+    measured big-n tables).
+
+    The observability hooks that re-box state stay on the boxed engine:
+    there is no [?events], [?adversary], [?on_round] or [?on_step] here.
+    [?telemetry] and [?track_legal] are supported but re-box the
+    configuration at round boundaries when they need Φ or legality. *)
+
+module Make (P : Protocol.PACKED) : sig
+  type result = {
+    states : P.state array;  (** final configuration, re-boxed *)
+    steps : int;
+    rounds : int;
+    silent : bool;
+    legal : bool;
+    max_bits : int;  (** the fixed register width [P.size_bits n _] *)
+    first_legal_round : int option;
+  }
+
+  (** The designated initial configuration ([P.initial] per node). *)
+  val initial : Repro_graph.Graph.t -> P.state array
+
+  (** An adversarial configuration ([P.random_state] per node, same RNG
+      draw order as {!Engine.Make.adversarial}). *)
+  val adversarial : Random.State.t -> Repro_graph.Graph.t -> P.state array
+
+  (** [run g sched rng ~init] executes until silence or a budget is hit.
+      Defaults and parameter meanings match {!Engine.Make.run}:
+      [max_steps] 10_000_000, [max_rounds] 200_000; [track_legal]
+      records the first round whose configuration is legal;
+      [stop_when_legal] additionally stops there; [stop_when] is polled
+      after every write; [profile] counts guard evaluations, moves,
+      touches, flushes and churn (rule tags are not classified — that
+      would re-box every move). *)
+  val run :
+    ?max_steps:int ->
+    ?max_rounds:int ->
+    ?track_legal:bool ->
+    ?stop_when_legal:bool ->
+    ?telemetry:Telemetry.t ->
+    ?stop_when:(unit -> bool) ->
+    ?profile:Profile.t ->
+    Repro_graph.Graph.t ->
+    Scheduler.t ->
+    Random.State.t ->
+    init:P.state array ->
+    result
+end

@@ -11,3 +11,19 @@ module type S = sig
   val potential : Repro_graph.Graph.t -> state array -> int option
   val classify : (state -> state -> string) option
 end
+
+module type CODEC = sig
+  type state
+
+  val pack : n:int -> state -> int array
+  val unpack : n:int -> int array -> state
+end
+
+module type PACKED = sig
+  include S
+
+  val words : int
+  val pack : n:int -> state -> int array
+  val unpack : n:int -> int array -> state
+  val step_packed : Pview.t -> bool
+end

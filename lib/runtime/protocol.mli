@@ -56,3 +56,45 @@ module type S = sig
       moves (events are then recorded untagged). *)
   val classify : (state -> state -> string) option
 end
+
+(** A register codec: the boxed state as a flat [int array] and back.
+
+    [unpack ~n (pack ~n s)] must equal [s] for every state reachable
+    from [initial] or [random_state] on an n-node graph (the round-trip
+    is a qcheck property per builder, see test_packed). Variable-length
+    states (MST, MDST) use the self-delimiting encodings of {!Codec};
+    their codecs ground the bits accounting of PAPER_MAP.md without
+    driving an engine. *)
+module type CODEC = sig
+  type state
+
+  val pack : n:int -> state -> int array
+  val unpack : n:int -> int array -> state
+end
+
+(** A protocol whose registers fit a {e fixed} number of int lanes, so
+    {!Engine_packed} can run it out of a struct-of-arrays bank with zero
+    steady-state allocation (see SCALING.md).
+
+    Contract, on top of {!S}:
+    - [pack ~n s] always returns exactly [words] ints, and
+      [unpack ~n (pack ~n s) = s];
+    - [size_bits n s] does not depend on [s] (fixed register width), so
+      the packed engine can report [max_bits] without unpacking;
+    - [step_packed pv] is extensionally [step]: with the bank holding
+      the packed configuration and [pv.focus = v], it returns [false]
+      iff [step (view of v)] is [None], and otherwise writes
+      [pack (the state step returns)] into [pv.move] and returns [true].
+      Like every builder's [step], a returned move is never equal to the
+      current register (silence is syntactic). The equivalence suite
+      pins [step_packed] against [step] pointwise and whole-run. *)
+module type PACKED = sig
+  include S
+
+  (** Register width in int lanes. *)
+  val words : int
+
+  val pack : n:int -> state -> int array
+  val unpack : n:int -> int array -> state
+  val step_packed : Pview.t -> bool
+end

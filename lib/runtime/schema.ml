@@ -41,6 +41,12 @@ let opt_int_field obj k =
   | Some (Json.Int i) -> Ok (Some i)
   | Some _ -> Error (Printf.sprintf "field %S is not an int or null" k)
 
+let opt_str_field obj k =
+  match Json.member k obj with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S is not a string or null" k)
+
 let ints_field obj k =
   let* v = field obj k in
   let* l = as_list k v in
@@ -78,21 +84,35 @@ let indexed what l check =
 
 (* ------------------------------------------------------------------ *)
 
+(* Bench records carry an optional "tier": "std" for the pinned
+   repro experiments, "big" for the scaling tier (see SCALING.md).
+   Absent means "std" — artifacts from before the tier existed still
+   validate. *)
+let tiers = [ "std"; "big" ]
+
 let validate_bench j =
   let* () = require_int j "seed" in
   let* exps = field j "experiments" in
   let* exps = as_list "experiments" exps in
   indexed "experiment" exps (fun e ->
-      all
-        [
-          require_str e "exp";
-          require_str e "algo";
-          require_int e "n";
-          require_int e "rounds";
-          require_int e "steps";
-          require_int e "max_bits";
-          require_int e "wall_ns";
-        ])
+      let* () =
+        all
+          [
+            require_str e "exp";
+            require_str e "algo";
+            require_int e "n";
+            require_int e "rounds";
+            require_int e "steps";
+            require_int e "max_bits";
+            require_int e "wall_ns";
+          ]
+      in
+      let* tier = opt_str_field e "tier" in
+      match tier with
+      | None -> Ok ()
+      | Some t ->
+          if List.mem t tiers then Ok ()
+          else Error (Printf.sprintf "unknown tier %S" t))
 
 let verdicts = [ "converged"; "livelock"; "stalled"; "exhausted" ]
 

@@ -11,7 +11,10 @@
     or [Error msg] locating the first violation. *)
 
 (** [{"seed": int, "experiments": [{exp, algo, n, rounds, steps,
-    max_bits, wall_ns} ...]}] — the bench regression artifact. *)
+    max_bits, wall_ns, tier?} ...]}] — the bench regression artifact.
+    [tier] is optional ("std" when absent) and must be one of "std"
+    (the pinned repro experiments) or "big" (the scaling tier, see
+    SCALING.md and the [@bigbench] alias). *)
 val validate_bench : Metrics.Json.t -> (int, string) result
 
 (** [{"meta": {...}, "cells": [...], "summary": {...}}] — the chaos
