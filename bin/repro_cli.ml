@@ -634,6 +634,174 @@ let chaos_cmd =
        $ daemons_arg $ max_rounds_arg $ max_injections_arg $ stall_window_arg
        $ cycle_repeats_arg $ out_arg $ jobs_arg $ trace_dir_arg))
 
+let serve_cmd =
+  let module Service_campaign = Repro_campaign.Service_campaign in
+  let module Churn = Repro_service.Churn in
+  let serve family n seeds seed algos_s traces_s daemons_s max_rounds retry_budget
+      max_retries queries_per_round stall_window cycle_repeats out jobs trace_dir =
+    let split s =
+      String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+    in
+    match Generators.by_name family with
+    | None -> `Error (false, Printf.sprintf "unknown graph family %S" family)
+    | Some gen -> (
+        let traces_r =
+          if traces_s = "defaults" then Ok Churn.defaults
+          else Churn.parse_list traces_s
+        in
+        match traces_r with
+        | Error msg -> `Error (false, msg)
+        | Ok traces -> (
+            let daemons = List.map (fun d -> (d, Scheduler.by_name d)) (split daemons_s) in
+            match List.find_opt (fun (_, o) -> o = None) daemons with
+            | Some (d, _) -> `Error (false, Printf.sprintf "unknown scheduler %S" d)
+            | None -> (
+                let daemons = List.map (fun (d, o) -> (d, Option.get o)) daemons in
+                let algo_list = split algos_s in
+                match
+                  List.find_opt
+                    (fun a -> not (List.mem a Service_campaign.known_algos))
+                    algo_list
+                with
+                | Some a -> `Error (false, Printf.sprintf "unknown algorithm %S" a)
+                | None ->
+                    (match trace_dir with
+                    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+                    | _ -> ());
+                    let cells =
+                      Pool.with_pool ~jobs (fun pool ->
+                          Service_campaign.run_matrix ~pool ~gen ~n ~seeds
+                            ~seed_base:seed ~algos:algo_list ~traces ~daemons
+                            ~max_rounds ~retry_budget ~max_retries ~queries_per_round
+                            ~stall_window ~cycle_repeats ?trace_dir ())
+                    in
+                    (match trace_dir with
+                    | Some dir ->
+                        Format.printf "traces: one JSONL file per cell in %s@." dir
+                    | None -> ());
+                    Format.printf "%s@." Service_campaign.csv_header;
+                    List.iter
+                      (fun c -> Format.printf "%s@." (Service_campaign.csv_row c))
+                      cells;
+                    let failures = Service_campaign.failed cells in
+                    let json =
+                      Service_campaign.campaign_json ~family ~n ~seeds ~seed_base:seed
+                        ~traces ~retry_budget ~max_retries ~queries_per_round cells
+                    in
+                    let oc = open_out out in
+                    Fun.protect
+                      ~finally:(fun () -> close_out oc)
+                      (fun () -> Metrics.Json.to_channel oc json);
+                    Format.printf "serve: %d cells, %d recovered, %d failed -> %s@."
+                      (List.length cells)
+                      (List.length cells - failures)
+                      failures out;
+                    if failures > 0 then begin
+                      Format.printf "serve: FAIL@.";
+                      exit 1
+                    end;
+                    `Ok ())))
+  in
+  let seeds_arg =
+    Arg.(value & opt int 2 & info [ "seeds" ] ~docv:"S" ~doc:"Seeds per cell.")
+  in
+  let algos_arg =
+    Arg.(
+      value & opt string "bfs,mst,spt"
+      & info [ "algos" ] ~docv:"A1,A2,.."
+          ~doc:"Comma-separated tree builders (bfs, mst, mdst, spt).")
+  in
+  let traces_arg =
+    Arg.(
+      value & opt string "defaults"
+      & info [ "traces" ] ~docv:"T1,T2,.."
+          ~doc:
+            "Comma-separated churn traces (grammar SPEC\\@TIMING; ops add:U+V+W, \
+             del:U+V, reweight:U+V+W, join:A+W, leave:V joined by ';'; canned specs \
+             flash-crowd:K, regional:K, maintenance:K; timings silence, every:R), or \
+             'defaults'.")
+  in
+  let daemons_arg =
+    Arg.(
+      value & opt string "random,distributed"
+      & info [ "daemons" ] ~docv:"D1,D2,.."
+          ~doc:
+            "Comma-separated schedulers to sweep. Each cell's escalation rung uses a \
+             daemon of the other family (random <-> distributed).")
+  in
+  let max_rounds_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-rounds" ] ~docv:"R" ~doc:"Global round budget per episode.")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "retry-budget" ] ~docv:"R"
+          ~doc:
+            "Round budget of each degradation-ladder rung past the first attempt (the \
+             first attempt gets R from an every:R timing, this budget under silence).")
+  in
+  let max_retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"K"
+          ~doc:"Same-daemon retries before escalating to the fallback daemon.")
+  in
+  let queries_per_round_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "queries-per-round" ] ~docv:"Q"
+          ~doc:
+            "Reads served from committed labels at every round boundary of a recovery \
+             (parent/root/degree lookups, re-checked for staleness when the event \
+             closes).")
+  in
+  let stall_window_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "stall-window" ] ~docv:"W"
+          ~doc:"Watchdog: rounds without a new potential minimum that count as a stall.")
+  in
+  let cycle_repeats_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "cycle-repeats" ] ~docv:"C"
+          ~doc:
+            "Watchdog: occurrences of one configuration hash that count as a livelock.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "SERVICE_repro.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Campaign artifact path.")
+  in
+  let trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"DIR"
+          ~doc:
+            "Stream one JSONL event trace per cell into $(docv) (created if missing), \
+             named ALGO__TRACE__SCHED__sSEED.jsonl; every recovery move carries causal \
+             provenance back to the churn event (topology edit) that woke it (see \
+             OBSERVABILITY.md, $(b,repro-cli explain)). Tracing draws no randomness: \
+             the campaign artifact is byte-identical with or without it.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a service-mode churn campaign (tree builders x churn traces x daemons x \
+          seeds): stabilize, stream topology edits against the live graph, serve reads \
+          from committed labels while the builder re-stabilizes under a watchdogged \
+          degradation ladder; write SERVICE_repro.json; exit 1 if any cell fails to \
+          recover.")
+    Term.(
+      ret
+        (const serve $ graph_arg $ n_arg $ seeds_arg $ seed_arg $ algos_arg $ traces_arg
+       $ daemons_arg $ max_rounds_arg $ retry_budget_arg $ max_retries_arg
+       $ queries_per_round_arg $ stall_window_arg $ cycle_repeats_arg $ out_arg
+       $ jobs_arg $ trace_dir_arg))
+
 let slurp path =
   let ic = open_in_bin path in
   Fun.protect
@@ -696,24 +864,29 @@ let validate_cmd =
               Error
                 "cannot sniff the artifact kind (no ev/experiments/cells field); pass \
                  --kind")
-      | (`Bench | `Chaos | `Trace) as k -> Ok k
+      | (`Bench | `Chaos | `Service | `Trace) as k -> Ok k
     in
     match kind with
     | Error msg -> `Error (false, msg)
     | Ok k -> (
         let kind_name =
-          match k with `Bench -> "bench" | `Chaos -> "chaos" | `Trace -> "trace"
+          match k with
+          | `Bench -> "bench"
+          | `Chaos -> "chaos"
+          | `Service -> "service"
+          | `Trace -> "trace"
         in
         let result =
           match k with
           | `Trace -> Schema.validate_trace contents
-          | (`Bench | `Chaos) as k -> (
+          | (`Bench | `Chaos | `Service) as k -> (
               match Metrics.Json.of_string contents with
               | None -> Error "not valid JSON"
               | Some j -> (
                   match k with
                   | `Bench -> Schema.validate_bench j
-                  | `Chaos -> Schema.validate_chaos j))
+                  | `Chaos -> Schema.validate_chaos j
+                  | `Service -> Schema.validate_service j))
         in
         match result with
         | Ok count ->
@@ -728,16 +901,23 @@ let validate_cmd =
       required
       & pos 0 (some file) None
       & info [] ~docv:"FILE"
-          ~doc:"BENCH_repro.json, CHAOS_repro.json, or a JSONL event trace.")
+          ~doc:"BENCH_repro.json, CHAOS_repro.json, SERVICE_repro.json, or a JSONL event trace.")
   in
   let kind_arg =
     Arg.(
       value
       & opt
-          (enum [ ("auto", `Auto); ("bench", `Bench); ("chaos", `Chaos); ("trace", `Trace) ])
+          (enum
+             [
+               ("auto", `Auto);
+               ("bench", `Bench);
+               ("chaos", `Chaos);
+               ("service", `Service);
+               ("trace", `Trace);
+             ])
           `Auto
       & info [ "kind" ] ~docv:"KIND"
-          ~doc:"Artifact kind: $(docv) is auto, bench, chaos or trace.")
+          ~doc:"Artifact kind: $(docv) is auto, bench, chaos, service or trace.")
   in
   Cmd.v
     (Cmd.info "validate"
@@ -752,7 +932,9 @@ let list_cmd =
     Format.printf "graphs:     %s@." (String.concat ", " Generators.all_names);
     Format.printf "schedulers: %s@." (String.concat ", " (List.map fst Scheduler.extended));
     Format.printf "fault plans: %s (grammar: TARGET/PAYLOAD@TIMING)@."
-      (String.concat ", " (List.map Fault.Plan.name Fault.Plan.defaults))
+      (String.concat ", " (List.map Fault.Plan.name Fault.Plan.defaults));
+    Format.printf "churn traces: %s (grammar: SPEC@TIMING)@."
+      (String.concat ", " (List.map Repro_service.Churn.name Repro_service.Churn.defaults))
   in
   Cmd.v (Cmd.info "list" ~doc:"List algorithms, graph families and schedulers.")
     Term.(const list $ const ())
@@ -767,4 +949,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; chaos_cmd; bench_diff_cmd; explain_cmd; validate_cmd; list_cmd ]))
+          [
+            run_cmd;
+            sweep_cmd;
+            chaos_cmd;
+            serve_cmd;
+            bench_diff_cmd;
+            explain_cmd;
+            validate_cmd;
+            list_cmd;
+          ]))

@@ -34,6 +34,19 @@ type cell = {
     this list. *)
 val known_algos : string list
 
+(** Algorithms with a cheap potential: only their Φ feeds the
+    watchdog's stall detector and per-round trace records (shared with
+    the service matrix, {!Service_campaign}). *)
+val cheap_phi : string list
+
+(** Collapse a cell coordinate to filename-safe characters (plans
+    contain ['/'] and ['@'], daemons [':']). *)
+val sanitize : string -> string
+
+(** The topology's edge list as [[u; v; w]] JSON triples, for trace
+    meta headers. *)
+val edges_json : Repro_graph.Graph.t -> Repro_runtime.Metrics.Json.t
+
 (** Run the full matrix on the pool; cells come back in canonical order
     (algorithms, then plans, then daemons, then seed indices, each in
     the order given) regardless of worker interleaving.

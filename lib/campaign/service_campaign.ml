@@ -1,0 +1,269 @@
+open Repro_graph
+open Repro_runtime
+open Repro_core
+open Repro_service
+module Json = Metrics.Json
+
+type cell = {
+  algo : string;
+  trace_name : string;
+  sched_name : string;
+  fallback_name : string;
+  seed_index : int;
+  n0 : int;
+  m0 : int;
+  report : Service.report;
+}
+
+let known_algos = [ "bfs"; "mst"; "mdst"; "spt" ]
+let cheap_phi = Campaign.cheap_phi
+
+(* Parent projections over the builders' register layouts. The
+   distance layers (BFS/SPT) repair by re-parenting freely and may
+   transiently cycle; the PLS layer inside MST/MDST moves one
+   loop-free edge swap at a time, so those two arm the monitor. *)
+module Bfs_tree = struct
+  include Bfs_builder.P
+
+  let parent_of (s : St_layer.t) = s.St_layer.parent
+  let loop_free = false
+end
+
+module Mst_tree = struct
+  include Mst_builder.P
+
+  let parent_of (s : Mst_builder.state) = s.Mst_builder.st.St_layer.parent
+  let loop_free = true
+end
+
+module Mdst_tree = struct
+  include Mdst_builder.P
+
+  let parent_of (s : Mdst_builder.state) = s.Mdst_builder.st.St_layer.parent
+  let loop_free = true
+end
+
+module Spt_tree = struct
+  include Spt_builder.P
+
+  let parent_of (s : Spt_builder.state) = s.Spt_builder.parent
+  let loop_free = false
+end
+
+let fallback_for sched_name =
+  if sched_name = "random" then ("distributed", Scheduler.Distributed 0.5)
+  else ("random", Scheduler.Central Scheduler.Random_daemon)
+
+let run_episode algo g ~sched ~fallback rng ~trace ~max_rounds ~retry_budget
+    ~max_retries ~queries_per_round ~stall_window ~cycle_repeats ?events () =
+  let generic (type s) (module P : Service.TREE_PROTOCOL with type state = s)
+      ~watch_phi =
+    let module S = Service.Make (P) in
+    S.run ~max_rounds ~stall_window ~cycle_repeats ~retry_budget ~max_retries
+      ~queries_per_round ~watch_phi ?events g ~sched ~fallback rng trace
+  in
+  match algo with
+  | "bfs" -> generic (module Bfs_tree) ~watch_phi:true
+  | "mst" -> generic (module Mst_tree) ~watch_phi:false
+  | "mdst" -> generic (module Mdst_tree) ~watch_phi:false
+  | "spt" -> generic (module Spt_tree) ~watch_phi:true
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
+let run_matrix ~pool ~gen ~n ~seeds ~seed_base ~algos ~traces ~daemons ~max_rounds
+    ~retry_budget ~max_retries ~queries_per_round ~stall_window ~cycle_repeats
+    ?trace_dir () =
+  (* Canonical enumeration + per-cell RNG, exactly like the chaos
+     matrix: Pool.map returns results in spec order, so the artifact is
+     independent of --jobs. *)
+  let specs =
+    List.concat_map
+      (fun algo ->
+        List.concat_map
+          (fun trace ->
+            let trace_name = Churn.name trace in
+            List.concat_map
+              (fun (sched_name, sched) ->
+                List.init seeds (fun i ->
+                    (algo, trace, trace_name, sched_name, sched, i + 1)))
+              daemons)
+          traces)
+      algos
+  in
+  Pool.map pool
+    (fun (algo, trace, trace_name, sched_name, sched, s) ->
+      let rng =
+        Random.State.make
+          [| seed_base; Hashtbl.hash (algo, trace_name, sched_name); n; s |]
+      in
+      let g = gen rng ~n in
+      let fallback_name, fallback = fallback_for sched_name in
+      let oc, events =
+        match trace_dir with
+        | None -> (None, None)
+        | Some dir ->
+            let file =
+              Filename.concat dir
+                (Printf.sprintf "%s__%s__%s__s%d.jsonl" (Campaign.sanitize algo)
+                   (Campaign.sanitize trace_name) (Campaign.sanitize sched_name) s)
+            in
+            let oc = open_out file in
+            let sink = Events.stream ~record_phi:(List.mem algo cheap_phi) oc in
+            Events.meta sink
+              [
+                ("algo", Json.Str algo);
+                ("trace", Json.Str trace_name);
+                ("sched", Json.Str sched_name);
+                ("fallback", Json.Str fallback_name);
+                ("seed", Json.Int s);
+                ("n", Json.Int (Graph.n g));
+                ("m", Json.Int (Graph.m g));
+                ("edges", Campaign.edges_json g);
+              ];
+            (Some oc, Some sink)
+      in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Option.iter close_out oc)
+          (fun () ->
+            run_episode algo g ~sched ~fallback rng ~trace ~max_rounds
+              ~retry_budget ~max_retries ~queries_per_round ~stall_window
+              ~cycle_repeats ?events ())
+      in
+      {
+        algo;
+        trace_name;
+        sched_name;
+        fallback_name;
+        seed_index = s;
+        n0 = Graph.n g;
+        m0 = Graph.m g;
+        report;
+      })
+    specs
+
+let failed cells =
+  List.length (List.filter (fun c -> not c.report.Service.recovered) cells)
+
+let csv_header =
+  "algo,trace,sched,fallback,seed,recovered,verdict,base_rounds,rounds,steps,\
+   events,queries,stale,violations,retries,escalations,restarts,crashes"
+
+let totals (r : Service.report) =
+  List.fold_left
+    (fun (q, st, vl, re, es, rs, cr) (e : Service.event_outcome) ->
+      ( q + e.Service.queries,
+        st + e.Service.stale,
+        vl + e.Service.violations,
+        re + e.Service.retries,
+        es + e.Service.escalations,
+        rs + e.Service.restarts,
+        cr + e.Service.crashes ))
+    (0, 0, 0, 0, 0, 0, 0) r.Service.events
+
+let csv_row c =
+  let r = c.report in
+  let q, st, vl, re, es, rs, cr = totals r in
+  Printf.sprintf "%s,%s,%s,%s,%d,%b,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d" c.algo
+    c.trace_name c.sched_name c.fallback_name c.seed_index r.Service.recovered
+    (Watchdog.verdict_name r.Service.verdict)
+    r.Service.base_rounds r.Service.rounds r.Service.steps
+    (List.length r.Service.events)
+    q st vl re es rs cr
+
+let event_json (e : Service.event_outcome) =
+  Json.Obj
+    [
+      ("op", Json.Str e.Service.op);
+      ("round", Json.Int e.Service.apply_round);
+      ("gap", match e.Service.gap with Some g -> Json.Int g | None -> Json.Null);
+      ("steps", Json.Int e.Service.steps);
+      ("queries", Json.Int e.Service.queries);
+      ("stale", Json.Int e.Service.stale);
+      ("violations", Json.Int e.Service.violations);
+      ("retries", Json.Int e.Service.retries);
+      ("escalations", Json.Int e.Service.escalations);
+      ("restarts", Json.Int e.Service.restarts);
+      ("crashes", Json.Int e.Service.crashes);
+      ("recovered", Json.Bool e.Service.recovered);
+    ]
+
+let cell_json c =
+  let r = c.report in
+  let q, st, vl, re, es, rs, cr = totals r in
+  Json.Obj
+    [
+      ("algo", Json.Str c.algo);
+      ("trace", Json.Str c.trace_name);
+      ("sched", Json.Str c.sched_name);
+      ("fallback", Json.Str c.fallback_name);
+      ("seed", Json.Int c.seed_index);
+      ("n0", Json.Int c.n0);
+      ("m0", Json.Int c.m0);
+      ("n_final", Json.Int r.Service.n_final);
+      ("m_final", Json.Int r.Service.m_final);
+      ("base_rounds", Json.Int r.Service.base_rounds);
+      ("rounds", Json.Int r.Service.rounds);
+      ("steps", Json.Int r.Service.steps);
+      ("recovered", Json.Bool r.Service.recovered);
+      ("verdict", Json.Str (Watchdog.verdict_name r.Service.verdict));
+      ("max_bits", Json.Int r.Service.max_bits);
+      ( "totals",
+        Json.Obj
+          [
+            ("queries", Json.Int q);
+            ("stale", Json.Int st);
+            ("violations", Json.Int vl);
+            ("retries", Json.Int re);
+            ("escalations", Json.Int es);
+            ("restarts", Json.Int rs);
+            ("crashes", Json.Int cr);
+          ] );
+      ("events", Json.List (List.map event_json r.Service.events));
+    ]
+
+let campaign_json ~family ~n ~seeds ~seed_base ~traces ~retry_budget ~max_retries
+    ~queries_per_round cells =
+  let sum f =
+    List.fold_left (fun acc c -> acc + f c.report) 0 cells
+  in
+  let n_events = sum (fun r -> List.length r.Service.events) in
+  let n_escalations =
+    sum (fun r ->
+        List.fold_left
+          (fun a (e : Service.event_outcome) -> a + e.Service.escalations)
+          0 r.Service.events)
+  in
+  let n_restarts =
+    sum (fun r ->
+        List.fold_left
+          (fun a (e : Service.event_outcome) -> a + e.Service.restarts)
+          0 r.Service.events)
+  in
+  Json.Obj
+    [
+      ( "meta",
+        Json.Obj
+          [
+            ("experiment", Json.Str "E13-service");
+            ("graph", Json.Str family);
+            ("n", Json.Int n);
+            ("seeds", Json.Int seeds);
+            ("seed_base", Json.Int seed_base);
+            ("retry_budget", Json.Int retry_budget);
+            ("max_retries", Json.Int max_retries);
+            ("queries_per_round", Json.Int queries_per_round);
+            ( "traces",
+              Json.List (List.map (fun t -> Json.Str (Churn.name t)) traces) );
+          ] );
+      ("cells", Json.List (List.map cell_json cells));
+      ( "summary",
+        Json.Obj
+          [
+            ("cells", Json.Int (List.length cells));
+            ("recovered", Json.Int (List.length cells - failed cells));
+            ("failed", Json.Int (failed cells));
+            ("events", Json.Int n_events);
+            ("escalations", Json.Int n_escalations);
+            ("restarts", Json.Int n_restarts);
+          ] );
+    ]

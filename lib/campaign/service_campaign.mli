@@ -1,0 +1,71 @@
+(** The service-mode churn matrix: builders x churn traces x daemons x
+    seeds, one {!Repro_service.Service} episode per cell, driven
+    through {!Repro_runtime.Pool} exactly like the chaos matrix — the
+    cell list is enumerated in canonical order and each cell is pinned
+    by its own RNG, so the artifact (SERVICE_repro.json) is
+    byte-identical at any [--jobs] count. Backing for
+    [repro_cli serve] and the [@service] alias. *)
+
+type cell = {
+  algo : string;
+  trace_name : string;
+  sched_name : string;
+  fallback_name : string;
+  seed_index : int;
+  n0 : int;  (** starting topology *)
+  m0 : int;
+  report : Repro_service.Service.report;
+}
+
+(** The builders service mode covers: the four tree protocols with a
+    parent projection (["bfs"; "mst"; "mdst"; "spt"]). *)
+val known_algos : string list
+
+(** [fallback_for sched_name] — the escalation daemon for a cell: a
+    daemon of a {e different} family than the primary (randomized
+    central for deterministic/distributed primaries, distributed for
+    the randomized central ones), so an escalation actually changes
+    the adversary. *)
+val fallback_for : string -> string * Repro_runtime.Scheduler.t
+
+(** Run the full matrix over the pool. [gen] produces the starting
+    topology from the cell RNG; [trace_dir], when given, streams one
+    causal JSONL trace per cell into it. *)
+val run_matrix :
+  pool:Repro_runtime.Pool.t ->
+  gen:(Random.State.t -> n:int -> Repro_graph.Graph.t) ->
+  n:int ->
+  seeds:int ->
+  seed_base:int ->
+  algos:string list ->
+  traces:Repro_service.Churn.t list ->
+  daemons:(string * Repro_runtime.Scheduler.t) list ->
+  max_rounds:int ->
+  retry_budget:int ->
+  max_retries:int ->
+  queries_per_round:int ->
+  stall_window:int ->
+  cycle_repeats:int ->
+  ?trace_dir:string ->
+  unit ->
+  cell list
+
+val csv_header : string
+val csv_row : cell -> string
+
+(** Cells that did not end silent and legal. *)
+val failed : cell list -> int
+
+(** The SERVICE_repro.json artifact (schema:
+    {!Repro_runtime.Schema.validate_service}). *)
+val campaign_json :
+  family:string ->
+  n:int ->
+  seeds:int ->
+  seed_base:int ->
+  traces:Repro_service.Churn.t list ->
+  retry_budget:int ->
+  max_retries:int ->
+  queries_per_round:int ->
+  cell list ->
+  Repro_runtime.Metrics.Json.t

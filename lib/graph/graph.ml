@@ -127,6 +127,125 @@ let weight g u v =
 let find_edge g u v =
   match lookup g u v with Some w -> Some (Edge.make u v w) | None -> None
 
+(* ------------------------------------------------------------------ *)
+(* Incremental edits (the service layer's churn path, see
+   lib/service/topology.mli). Edge edits patch the adjacency rows of the
+   two endpoints and rebuild the flat CSR mirror with one linear pass —
+   no re-sorting, no duplicate-detection hash pass — and are pinned
+   byte-identical to [of_edges] from scratch on the same edge set by a
+   qcheck property (test_graph). Node edits change [n], so they go back
+   through [of_edge_list]. *)
+
+let check_endpoint ~what g x =
+  if x < 0 || x >= g.n then
+    invalid_arg
+      (Printf.sprintf "Graph.%s: endpoint %d out of range [0,%d)" what x g.n)
+
+(* Fresh row with [(u, w)] inserted at its sorted (by neighbor) slot. *)
+let insert_sorted row u w =
+  let len = Array.length row in
+  let fresh = Array.make (len + 1) (u, w) in
+  let i = ref 0 in
+  while !i < len && fst row.(!i) < u do
+    fresh.(!i) <- row.(!i);
+    incr i
+  done;
+  Array.blit row !i fresh (!i + 1) (len - !i);
+  fresh
+
+(* Fresh row with neighbor [u] dropped. *)
+let remove_sorted row u =
+  let len = Array.length row in
+  let fresh = Array.make (len - 1) (0, 0) in
+  let j = ref 0 in
+  for i = 0 to len - 1 do
+    if fst row.(i) <> u then begin
+      fresh.(!j) <- row.(i);
+      incr j
+    end
+  done;
+  fresh
+
+let patched g ~adj ~edges ~total_w =
+  let csr_row, csr_col, csr_wgt = csr_of_adj g.n adj in
+  { n = g.n; edges; adj; csr_row; csr_col; csr_wgt; total_w }
+
+let add_edge g u v w =
+  check_endpoint ~what:"add_edge" g u;
+  check_endpoint ~what:"add_edge" g v;
+  let e = Edge.make u v w in
+  if has_edge g e.Edge.u e.Edge.v then
+    invalid_arg
+      (Printf.sprintf "Graph.add_edge: duplicate edge {%d,%d}" e.Edge.u e.Edge.v);
+  let adj = Array.copy g.adj in
+  adj.(e.Edge.u) <- insert_sorted adj.(e.Edge.u) e.Edge.v w;
+  adj.(e.Edge.v) <- insert_sorted adj.(e.Edge.v) e.Edge.u w;
+  patched g ~adj ~edges:(Array.append g.edges [| e |]) ~total_w:(g.total_w + w)
+
+let remove_edge g u v =
+  check_endpoint ~what:"remove_edge" g u;
+  check_endpoint ~what:"remove_edge" g v;
+  match lookup g u v with
+  | None -> invalid_arg (Printf.sprintf "Graph.remove_edge: edge {%d,%d} absent" u v)
+  | Some w ->
+      let e = Edge.make u v w in
+      let adj = Array.copy g.adj in
+      adj.(e.Edge.u) <- remove_sorted adj.(e.Edge.u) e.Edge.v;
+      adj.(e.Edge.v) <- remove_sorted adj.(e.Edge.v) e.Edge.u;
+      let edges =
+        Array.of_list
+          (List.filter (fun x -> not (Edge.equal x e)) (Array.to_list g.edges))
+      in
+      patched g ~adj ~edges ~total_w:(g.total_w - w)
+
+let reweight_edge g u v w =
+  check_endpoint ~what:"reweight_edge" g u;
+  check_endpoint ~what:"reweight_edge" g v;
+  match lookup g u v with
+  | None ->
+      invalid_arg (Printf.sprintf "Graph.reweight_edge: edge {%d,%d} absent" u v)
+  | Some old_w ->
+      let e_old = Edge.make u v old_w and e = Edge.make u v w in
+      let replace row x =
+        let fresh = Array.copy row in
+        Array.iteri (fun i (y, _) -> if y = x then fresh.(i) <- (x, w)) row;
+        fresh
+      in
+      let adj = Array.copy g.adj in
+      adj.(e.Edge.u) <- replace adj.(e.Edge.u) e.Edge.v;
+      adj.(e.Edge.v) <- replace adj.(e.Edge.v) e.Edge.u;
+      let edges = Array.map (fun x -> if Edge.equal x e_old then e else x) g.edges in
+      patched g ~adj ~edges ~total_w:(g.total_w - old_w + w)
+
+let add_node g anchors =
+  if anchors = [] then
+    invalid_arg "Graph.add_node: at least one anchor edge required";
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (a, _) ->
+      check_endpoint ~what:"add_node" g a;
+      if Hashtbl.mem seen a then
+        invalid_arg (Printf.sprintf "Graph.add_node: duplicate anchor %d" a);
+      Hashtbl.add seen a ())
+    anchors;
+  of_edge_list (g.n + 1)
+    (Array.to_list g.edges @ List.map (fun (a, w) -> Edge.make a g.n w) anchors)
+
+let remove_node g v =
+  check_endpoint ~what:"remove_node" g v;
+  if g.n = 1 then invalid_arg "Graph.remove_node: cannot remove the last node";
+  (* Swap-remove: the highest id takes the vacated slot, keeping ids
+     contiguous; edges incident to [v] disappear with it. *)
+  let last = g.n - 1 in
+  let rename x = if x = last then v else x in
+  let edges =
+    Array.to_list g.edges
+    |> List.filter_map (fun (e : Edge.t) ->
+           if e.u = v || e.v = v then None
+           else Some (Edge.make (rename e.u) (rename e.v) e.w))
+  in
+  of_edge_list (g.n - 1) edges
+
 let fold_edges f init g = Array.fold_left (fun acc e -> f e acc) init g.edges
 let iter_edges f g = Array.iter f g.edges
 let total_weight g = g.total_w

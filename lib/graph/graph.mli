@@ -46,6 +46,45 @@ val of_edges : int -> (int * int * int) list -> t
 (** Same as {!of_edges} from already-normalized edges. *)
 val of_edge_list : int -> Edge.t list -> t
 
+(** {1 Incremental edits}
+
+    The churn path of service mode (lib/service): each edit returns a
+    fresh graph sharing untouched adjacency rows with the old one. The
+    result is guaranteed byte-identical — [edges] order, [csr_row] /
+    [csr_col] / [csr_wgt], [total_weight] — to {!of_edges} applied from
+    scratch to the edited edge set with adds appended last (pinned by a
+    qcheck property in test_graph). Edits never check connectivity;
+    callers that need a connected result (the service layer does) must
+    validate first — see [Topology.check].
+
+    All edits raise [Invalid_argument] with a descriptive message on
+    out-of-range endpoints, self-loops, duplicate edges, or absent
+    edges. *)
+
+(** [add_edge g u v w] inserts the edge [{u,v}] with weight [w].
+    @raise Invalid_argument if the edge already exists. *)
+val add_edge : t -> int -> int -> int -> t
+
+(** [remove_edge g u v] deletes the edge [{u,v}].
+    @raise Invalid_argument if the edge is absent. *)
+val remove_edge : t -> int -> int -> t
+
+(** [reweight_edge g u v w] sets the weight of existing edge [{u,v}] to
+    [w]. @raise Invalid_argument if the edge is absent. *)
+val reweight_edge : t -> int -> int -> int -> t
+
+(** [add_node g anchors] adds node [n g] (ids stay contiguous) attached
+    by one edge [(anchor, weight)] per list element.
+    @raise Invalid_argument on an empty anchor list, out-of-range or
+    duplicate anchors. *)
+val add_node : t -> (int * int) list -> t
+
+(** [remove_node g v] deletes node [v] and its incident edges,
+    swap-renaming the highest id [n g - 1] to [v] so ids stay
+    contiguous ([v = n g - 1] deletes cleanly with no rename).
+    @raise Invalid_argument on the last remaining node. *)
+val remove_node : t -> int -> t
+
 (** {1 Accessors} *)
 
 (** Number of nodes. *)

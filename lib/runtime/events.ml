@@ -12,6 +12,7 @@ type kind =
       causes : int list;
     }
   | Fault of { node : int; round : int }
+  | Churn of { node : int; round : int; op : string }
   | Round of { round : int; enabled : int; phi : int option }
 
 type event = { id : int; kind : kind }
@@ -69,6 +70,15 @@ let event_json { id; kind } =
           ("round", Json.Int round);
           ("node", Json.Int node);
         ]
+  | Churn { node; round; op } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "churn");
+          ("id", Json.Int id);
+          ("round", Json.Int round);
+          ("node", Json.Int node);
+          ("op", Json.Str op);
+        ]
   | Round { round; enabled; phi } ->
       Json.Obj
         ([
@@ -103,6 +113,12 @@ let emit_fault t ~node ~round =
   let id = t.next_id in
   t.next_id <- id + 1;
   push t { id; kind = Fault { node; round } };
+  id
+
+let emit_churn t ~node ~round ~op =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  push t { id; kind = Churn { node; round; op } };
   id
 
 let emit_round t ~round ~enabled ~phi =

@@ -35,6 +35,11 @@ type kind =
       causes : int list;  (** ids of the enabling events, oldest first *)
     }
   | Fault of { node : int; round : int }
+  | Churn of { node : int; round : int; op : string }
+      (** A topology edit touching [node] (one event per affected
+          endpoint); [op] is the churn grammar spelling, e.g.
+          ["del:2+5"]. Emitted by the service layer; like [Fault], a
+          DAG source for recovery attribution. *)
   | Round of { round : int; enabled : int; phi : int option }
 
 type event = { id : int; kind : kind }
@@ -78,6 +83,7 @@ val emit_move :
 (** Returns the fresh event's id (to thread into later causes). *)
 
 val emit_fault : t -> node:int -> round:int -> int
+val emit_churn : t -> node:int -> round:int -> op:string -> int
 val emit_round : t -> round:int -> enabled:int -> phi:int option -> unit
 
 (** Events currently retained, oldest first ([[]] for stream sinks). *)

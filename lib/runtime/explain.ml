@@ -14,12 +14,14 @@ type move = {
 }
 
 type fault = { id : int; round : int; node : int }
+type churn = { id : int; round : int; node : int; op : string }
 type round_rec = { round : int; enabled : int; phi : int option }
 
 type trace = {
   meta : (string * Json.t) list option;
   moves : move list;
   faults : fault list;
+  churns : churn list;
   rounds : round_rec list;
 }
 
@@ -63,7 +65,18 @@ let parse_line j =
           causes;
         }
   | Some (Json.Str "fault") ->
-      `Fault { id = req_int j "id"; round = req_int j "round"; node = req_int j "node" }
+      `Fault
+        ({ id = req_int j "id"; round = req_int j "round"; node = req_int j "node" }
+          : fault)
+  | Some (Json.Str "churn") ->
+      let op =
+        match Json.member "op" j with
+        | Some (Json.Str o) -> o
+        | _ -> failwith "missing \"op\" field"
+      in
+      `Churn
+        ({ id = req_int j "id"; round = req_int j "round"; node = req_int j "node"; op }
+          : churn)
   | Some (Json.Str "round") ->
       `Round
         {
@@ -77,7 +90,7 @@ let parse_line j =
 let parse contents =
   let lines = String.split_on_char '\n' contents in
   let meta = ref None in
-  let moves = ref [] and faults = ref [] and rounds = ref [] in
+  let moves = ref [] and faults = ref [] and churns = ref [] and rounds = ref [] in
   let err = ref None in
   List.iteri
     (fun i line ->
@@ -89,6 +102,7 @@ let parse contents =
             | `Meta f -> meta := Some f
             | `Move m -> moves := m :: !moves
             | `Fault f -> faults := f :: !faults
+            | `Churn c -> churns := c :: !churns
             | `Round r -> rounds := r :: !rounds
             | exception Failure msg -> err := Some (Printf.sprintf "line %d: %s" (i + 1) msg)))
     lines;
@@ -100,6 +114,7 @@ let parse contents =
           meta = !meta;
           moves = List.rev !moves;
           faults = List.rev !faults;
+          churns = List.rev !churns;
           rounds = List.rev !rounds;
         }
 
@@ -118,6 +133,7 @@ type report = {
   header : (string * Json.t) list;
   total_moves : int;
   total_faults : int;
+  total_churns : int;
   total_rounds : int;
   distinct_movers : int;
   rule_breakdown : (string * int) list;
@@ -185,10 +201,21 @@ let bfs_from adj sources =
 let analyze ?(top = 10) (t : trace) =
   let total_moves = List.length t.moves in
   let total_faults = List.length t.faults in
+  let total_churns = List.length t.churns in
+  (* Churn events are DAG sources exactly like faults — same-round
+     grouping, same cone accounting — so project them into the fault
+     shape and run one source list through the attribution pass. *)
+  let sources : fault list =
+    List.sort
+      (fun (a : fault) (b : fault) -> compare a.id b.id)
+      (t.faults
+      @ List.map (fun (c : churn) -> { id = c.id; round = c.round; node = c.node }) t.churns
+      )
+  in
   let total_rounds =
     let m = List.fold_left (fun acc (r : round_rec) -> max acc r.round) 0 t.rounds in
     let m = List.fold_left (fun acc (mv : move) -> max acc mv.round) m t.moves in
-    List.fold_left (fun acc (f : fault) -> max acc f.round) m t.faults
+    List.fold_left (fun acc (f : fault) -> max acc f.round) m sources
   in
   (* per-node and per-rule counts *)
   let node_counts = Hashtbl.create 64 in
@@ -254,7 +281,7 @@ let analyze ?(top = 10) (t : trace) =
         Hashtbl.add inj_round f.round (List.length !inj_rounds);
         inj_rounds := f.round :: !inj_rounds
       end)
-    t.faults;
+    sources;
   let inj_rounds = List.rev !inj_rounds in
   let origin = Hashtbl.create 256 in
   (* event id -> ISet of injection indices *)
@@ -266,7 +293,7 @@ let analyze ?(top = 10) (t : trace) =
   let tagged =
     List.merge
       (fun a b -> compare (fst a) (fst b))
-      (List.map (fun (f : fault) -> (f.id, `F f)) t.faults)
+      (List.map (fun (f : fault) -> (f.id, `F f)) sources)
       (List.map (fun (m : move) -> (m.id, `M m)) t.moves)
   in
   let per_inj_moves = Hashtbl.create 8 in
@@ -319,7 +346,7 @@ let analyze ?(top = 10) (t : trace) =
     List.mapi
       (fun i r ->
         let injected =
-          List.filter_map (fun (f : fault) -> if f.round = r then Some f.node else None) t.faults
+          List.filter_map (fun (f : fault) -> if f.round = r then Some f.node else None) sources
           |> List.sort_uniq compare
         in
         let count, nodes =
@@ -351,6 +378,7 @@ let analyze ?(top = 10) (t : trace) =
     header = Option.value t.meta ~default:[];
     total_moves;
     total_faults;
+    total_churns;
     total_rounds;
     distinct_movers;
     rule_breakdown;
@@ -386,8 +414,9 @@ let pp_text ppf r =
   pf "@[<v>";
   let hdr = header_str r in
   if hdr <> "" then pf "trace: %s@," hdr;
-  pf "moves: %d over %d rounds by %d nodes; faults: %d@," r.total_moves r.total_rounds
-    r.distinct_movers r.total_faults;
+  pf "moves: %d over %d rounds by %d nodes; faults: %d%s@," r.total_moves r.total_rounds
+    r.distinct_movers r.total_faults
+    (if r.total_churns > 0 then Printf.sprintf "; churn events: %d" r.total_churns else "");
   if r.rule_breakdown <> [] then begin
     pf "@,per-rule breakdown:@,";
     List.iter
@@ -476,8 +505,9 @@ let to_html r =
   add "<h1>Convergence report</h1>\n";
   let hdr = header_str r in
   if hdr <> "" then add "<p class=\"muted\">%s</p>\n" (html_escape hdr);
-  add "<p>%d moves over %d rounds by %d distinct nodes; %d fault events.</p>\n" r.total_moves
-    r.total_rounds r.distinct_movers r.total_faults;
+  add "<p>%d moves over %d rounds by %d distinct nodes; %d fault events%s.</p>\n" r.total_moves
+    r.total_rounds r.distinct_movers r.total_faults
+    (if r.total_churns > 0 then Printf.sprintf "; %d churn events" r.total_churns else "");
   if r.rule_breakdown <> [] then begin
     add "<h2>Per-rule breakdown</h2>\n<table><tr><th>rule</th><th>moves</th><th></th></tr>\n";
     let mx = List.fold_left (fun a (_, c) -> max a c) 1 r.rule_breakdown in

@@ -12,7 +12,10 @@
     injection's cone when some cause chain leads back to one of its
     [Fault] events; a move whose chains all terminate in moves without
     causes is {e root-spontaneous} (enabled by the initial
-    configuration). Fault events at the same round form one injection.
+    configuration). Fault and churn events at the same round form one
+    injection — service-mode topology edits ([Churn]) are DAG sources
+    exactly like register corruptions, so recovery moves are attributed
+    to the edit that caused them.
     Cone radii need the graph; they are computed when the trace's meta
     header carries an ["edges"] list (the CLI writes one). *)
 
@@ -29,12 +32,17 @@ type move = {
 }
 
 type fault = { id : int; round : int; node : int }
+
+(** A topology edit (service mode); a DAG source like {!fault}. *)
+type churn = { id : int; round : int; node : int; op : string }
+
 type round_rec = { round : int; enabled : int; phi : int option }
 
 type trace = {
   meta : (string * Metrics.Json.t) list option;
   moves : move list;  (** chronological *)
   faults : fault list;  (** chronological *)
+  churns : churn list;  (** chronological *)
   rounds : round_rec list;  (** chronological *)
 }
 
@@ -55,6 +63,7 @@ type report = {
   header : (string * Metrics.Json.t) list;
   total_moves : int;
   total_faults : int;
+  total_churns : int;
   total_rounds : int;  (** highest round index seen *)
   distinct_movers : int;
   rule_breakdown : (string * int) list;  (** descending count; "?" = untagged *)

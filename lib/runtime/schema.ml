@@ -179,6 +179,111 @@ let validate_chaos j =
 
 (* ------------------------------------------------------------------ *)
 
+(* Service-mode artifact (SERVICE_repro.json): one cell per
+   builder x churn trace x daemon x seed, each carrying the per-event
+   recovery records and degradation counters. *)
+
+let validate_service_event ev =
+  all
+    [
+      require_str ev "op";
+      require_int ev "round";
+      Result.map (fun _ -> ()) (opt_int_field ev "gap");
+      require_int ev "steps";
+      require_int ev "queries";
+      require_int ev "stale";
+      require_int ev "violations";
+      require_int ev "retries";
+      require_int ev "escalations";
+      require_int ev "restarts";
+      require_int ev "crashes";
+      require_bool ev "recovered";
+    ]
+
+let validate_service_cell c =
+  let* () =
+    all
+      [
+        require_str c "algo";
+        require_str c "trace";
+        require_str c "sched";
+        require_str c "fallback";
+        require_int c "seed";
+        require_int c "n0";
+        require_int c "m0";
+        require_int c "n_final";
+        require_int c "m_final";
+        require_int c "base_rounds";
+        require_bool c "recovered";
+        require_int c "max_bits";
+      ]
+  in
+  let* v = str_field c "verdict" in
+  let* () =
+    if List.mem v verdicts then Ok ()
+    else Error (Printf.sprintf "unknown verdict %S" v)
+  in
+  let* totals = field c "totals" in
+  let* () =
+    all
+      [
+        require_int totals "queries";
+        require_int totals "stale";
+        require_int totals "violations";
+        require_int totals "retries";
+        require_int totals "escalations";
+        require_int totals "restarts";
+        require_int totals "crashes";
+      ]
+  in
+  let* evs = field c "events" in
+  let* evs = as_list "events" evs in
+  Result.map (fun _ -> ()) (indexed "event" evs validate_service_event)
+
+let validate_service j =
+  let* meta = field j "meta" in
+  let* () =
+    all
+      [
+        require_str meta "experiment";
+        require_str meta "graph";
+        require_int meta "n";
+        require_int meta "seeds";
+        require_int meta "seed_base";
+        require_int meta "retry_budget";
+        require_int meta "max_retries";
+        require_int meta "queries_per_round";
+      ]
+  in
+  let* traces = field meta "traces" in
+  let* traces = as_list "traces" traces in
+  let* () =
+    List.fold_left
+      (fun acc t ->
+        let* () = acc in
+        match t with
+        | Json.Str _ -> Ok ()
+        | _ -> Error "field \"traces\" contains a non-string")
+      (Ok ()) traces
+  in
+  let* summary = field j "summary" in
+  let* () =
+    all
+      [
+        require_int summary "cells";
+        require_int summary "recovered";
+        require_int summary "failed";
+        require_int summary "events";
+        require_int summary "escalations";
+        require_int summary "restarts";
+      ]
+  in
+  let* cells = field j "cells" in
+  let* cells = as_list "cells" cells in
+  indexed "cell" cells validate_service_cell
+
+(* ------------------------------------------------------------------ *)
+
 let validate_trace contents =
   match Explain.parse contents with
   | Error e -> Error e
@@ -211,7 +316,12 @@ let sniff contents =
   let categorize j =
     if Json.member "ev" j <> None then Some `Trace
     else if Json.member "experiments" j <> None then Some `Bench
-    else if Json.member "cells" j <> None then Some `Chaos
+    else if Json.member "cells" j <> None then
+      (* Chaos and service artifacts both lead with cells; the service
+         meta header is the one that names its churn traces. *)
+      match Json.member "meta" j with
+      | Some meta when Json.member "traces" meta <> None -> Some `Service
+      | _ -> Some `Chaos
     else None
   in
   match Json.of_string (String.trim first_line) with

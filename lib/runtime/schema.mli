@@ -22,6 +22,13 @@ val validate_bench : Metrics.Json.t -> (int, string) result
     outcome, verdict and injection records are checked. *)
 val validate_chaos : Metrics.Json.t -> (int, string) result
 
+(** [{"meta": {..., "traces": [string...]}, "cells": [...],
+    "summary": {...}}] — the service-mode churn artifact
+    (SERVICE_repro.json, see EXPERIMENTS.md E13): each cell's
+    identification, final topology, verdict, per-churn-event recovery
+    records and degradation counters are checked. *)
+val validate_service : Metrics.Json.t -> (int, string) result
+
 (** Validate a whole JSONL trace from its file {e contents}: every line
     parses ({!Explain.parse}'s grammar), event ids are strictly
     increasing, and every cause id refers to an earlier event. *)
@@ -29,5 +36,6 @@ val validate_trace : string -> (int, string) result
 
 (** Sniff which validator a file's contents call for: a JSONL trace
     (first line has an ["ev"] field), a bench artifact
-    (["experiments"]) or a chaos artifact (["cells"]). *)
-val sniff : string -> [ `Bench | `Chaos | `Trace ] option
+    (["experiments"]), a service artifact (["cells"] plus a meta
+    ["traces"] list) or a chaos artifact (any other ["cells"]). *)
+val sniff : string -> [ `Bench | `Chaos | `Service | `Trace ] option

@@ -1,0 +1,251 @@
+module Graph = Repro_graph.Graph
+module Traversal = Repro_graph.Traversal
+
+type op =
+  | Add_edge of int * int * int
+  | Del_edge of int * int
+  | Reweight of int * int * int
+  | Join of (int * int) list
+  | Leave of int
+
+type spec =
+  | Ops of op list
+  | Flash_crowd of int
+  | Regional of int
+  | Maintenance of int
+
+type timing = At_silence | Every of int
+type t = { spec : spec; timing : timing }
+
+(* ------------------------------------------------------------------ *)
+(* Names *)
+
+let op_name = function
+  | Add_edge (u, v, w) -> Printf.sprintf "add:%d+%d+%d" u v w
+  | Del_edge (u, v) -> Printf.sprintf "del:%d+%d" u v
+  | Reweight (u, v, w) -> Printf.sprintf "reweight:%d+%d+%d" u v w
+  | Join anchors ->
+      "join:"
+      ^ String.concat "+"
+          (List.concat_map (fun (a, w) -> [ string_of_int a; string_of_int w ]) anchors)
+  | Leave v -> Printf.sprintf "leave:%d" v
+
+let spec_name = function
+  | Ops ops -> String.concat ";" (List.map op_name ops)
+  | Flash_crowd k -> Printf.sprintf "flash-crowd:%d" k
+  | Regional k -> Printf.sprintf "regional:%d" k
+  | Maintenance k -> Printf.sprintf "maintenance:%d" k
+
+let timing_name = function
+  | At_silence -> "silence"
+  | Every r -> Printf.sprintf "every:%d" r
+
+let name t = spec_name t.spec ^ "@" ^ timing_name t.timing
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let ( let* ) = Result.bind
+
+let int_of s ctx =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "churn: %S is not an int (in %s)" s ctx)
+
+let ints_of args ctx =
+  List.fold_left
+    (fun acc s ->
+      let* l = acc in
+      let* i = int_of s ctx in
+      Ok (i :: l))
+    (Ok []) args
+  |> Result.map List.rev
+
+let op_of_string s =
+  let head, args =
+    match String.index_opt s ':' with
+    | Some i ->
+        ( String.sub s 0 i,
+          String.split_on_char '+' (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (s, [])
+  in
+  let* ints = ints_of args s in
+  match (head, ints) with
+  | "add", [ u; v; w ] -> Ok (Add_edge (u, v, w))
+  | "del", [ u; v ] -> Ok (Del_edge (u, v))
+  | "reweight", [ u; v; w ] -> Ok (Reweight (u, v, w))
+  | "join", l when l <> [] && List.length l mod 2 = 0 ->
+      let rec pairs = function
+        | a :: w :: tl -> (a, w) :: pairs tl
+        | _ -> []
+      in
+      Ok (Join (pairs l))
+  | "leave", [ v ] -> Ok (Leave v)
+  | ("add" | "del" | "reweight" | "join" | "leave"), _ ->
+      Error (Printf.sprintf "churn: wrong arity in op %S" s)
+  | _ -> Error (Printf.sprintf "churn: unknown op %S" s)
+
+let canned_of_string head arg ctx =
+  let* k = int_of arg ctx in
+  if k <= 0 then Error (Printf.sprintf "churn: count must be positive in %S" ctx)
+  else
+    match head with
+    | "flash-crowd" -> Ok (Flash_crowd k)
+    | "regional" -> Ok (Regional k)
+    | "maintenance" -> Ok (Maintenance k)
+    | _ -> Error (Printf.sprintf "churn: unknown generator %S" head)
+
+let spec_of_string s =
+  let canned =
+    match String.index_opt s ':' with
+    | Some i when not (String.contains s ';') -> (
+        match String.sub s 0 i with
+        | ("flash-crowd" | "regional" | "maintenance") as head ->
+            Some (head, String.sub s (i + 1) (String.length s - i - 1))
+        | _ -> None)
+    | _ -> None
+  in
+  match canned with
+  | Some (head, arg) -> canned_of_string head arg s
+  | None ->
+      let* ops =
+        List.fold_left
+          (fun acc part ->
+            let* l = acc in
+            let* op = op_of_string (String.trim part) in
+            Ok (op :: l))
+          (Ok [])
+          (String.split_on_char ';' s)
+      in
+      Ok (Ops (List.rev ops))
+
+let of_string s =
+  let s = String.trim s in
+  let spec_str, timing_str =
+    match String.index_opt s '@' with
+    | Some i -> (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> (s, None)
+  in
+  let* spec = spec_of_string spec_str in
+  let* timing =
+    match timing_str with
+    | None | Some "silence" -> Ok At_silence
+    | Some ts -> (
+        match String.index_opt ts ':' with
+        | Some i when String.sub ts 0 i = "every" ->
+            let* r = int_of (String.sub ts (i + 1) (String.length ts - i - 1)) ts in
+            if r <= 0 then Error (Printf.sprintf "churn: period must be positive in %S" ts)
+            else Ok (Every r)
+        | _ -> Error (Printf.sprintf "churn: unknown timing %S" ts))
+  in
+  Ok { spec; timing }
+
+let parse_list s =
+  List.fold_left
+    (fun acc part ->
+      let* l = acc in
+      let part = String.trim part in
+      if part = "" then Ok l
+      else
+        let* t = of_string part in
+        Ok (t :: l))
+    (Ok [])
+    (String.split_on_char ',' s)
+  |> Result.map List.rev
+
+let defaults =
+  [
+    { spec = Flash_crowd 2; timing = At_silence };
+    { spec = Regional 2; timing = At_silence };
+    { spec = Maintenance 3; timing = Every 4 };
+    { spec = Flash_crowd 2; timing = Every 6 };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Canned generators *)
+
+let max_weight g = Graph.fold_edges (fun e acc -> max acc e.Graph.Edge.w) 0 g
+
+(* K joins anchored to uniform existing nodes, then the crowd departs
+   in reverse join order — each leave removes the current highest id,
+   so no swap-rename happens and connectivity is preserved by
+   construction (anchors always point to older nodes). *)
+let flash_crowd rng g k =
+  let n0 = Graph.n g in
+  let next_w = ref (max_weight g) in
+  let fresh_w () =
+    incr next_w;
+    !next_w
+  in
+  let joins =
+    List.init k (fun i ->
+        let range = n0 + i in
+        let a1 = Random.State.int rng range in
+        let a2 = Random.State.int rng range in
+        let anchors =
+          if a2 = a1 then [ (a1, fresh_w ()) ] else [ (a1, fresh_w ()); (a2, fresh_w ()) ]
+        in
+        Join anchors)
+  in
+  let leaves = List.init k (fun i -> Leave (n0 + k - 1 - i)) in
+  joins @ leaves
+
+(* Correlated regional failure: up to [k] edge deletions inside the
+   closed neighborhood of a random center, simulated sequentially so a
+   delete that would disconnect the (already-edited) graph is skipped. *)
+let regional rng g k =
+  let c = Random.State.int rng (Graph.n g) in
+  let in_region v = v = c || Graph.has_edge g c v in
+  let candidates =
+    Graph.fold_edges
+      (fun e acc -> if in_region e.Graph.Edge.u && in_region e.Graph.Edge.v then e :: acc else acc)
+      [] g
+  in
+  (* Deterministic shuffle of the candidate list. *)
+  let arr = Array.of_list candidates in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  let sim = ref g in
+  let ops = ref [] in
+  let taken = ref 0 in
+  Array.iter
+    (fun (e : Graph.Edge.t) ->
+      if !taken < k then begin
+        let g' = Graph.remove_edge !sim e.u e.v in
+        if Traversal.is_connected g' then begin
+          sim := g';
+          ops := Del_edge (e.u, e.v) :: !ops;
+          incr taken
+        end
+      end)
+    arr;
+  List.rev !ops
+
+(* Periodic maintenance: K distinct edges re-provisioned with fresh
+   (larger, still pairwise-distinct) weights. *)
+let maintenance rng g k =
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let k = min k m in
+  (* Partial Fisher–Yates: the first k slots are a uniform k-subset. *)
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int rng (m - i) in
+    let tmp = edges.(i) in
+    edges.(i) <- edges.(j);
+    edges.(j) <- tmp
+  done;
+  let base = max_weight g in
+  List.init k (fun i ->
+      let e = edges.(i) in
+      Reweight (e.Graph.Edge.u, e.Graph.Edge.v, base + 1 + i))
+
+let expand rng g = function
+  | Ops ops -> ops
+  | Flash_crowd k -> flash_crowd rng g k
+  | Regional k -> regional rng g k
+  | Maintenance k -> maintenance rng g k

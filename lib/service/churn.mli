@@ -1,0 +1,82 @@
+(** Churn traces: first-class topology-edit scenarios, the service
+    layer's analogue of {!Repro_runtime.Fault.Plan}.
+
+    A {e churn op} is one topology edit; a {e spec} is either an
+    explicit op sequence or a canned generator expanded against the
+    live graph; a {e trace} pairs a spec with a timing policy:
+
+    {v
+    OP     ::= add:U+V+W | del:U+V | reweight:U+V+W
+             | join:A1+W1[+A2+W2] | leave:V
+    SPEC   ::= OP[;OP...] | flash-crowd:K | regional:K | maintenance:K
+    TIMING ::= silence | every:R
+    TRACE  ::= SPEC[@TIMING]
+    v}
+
+    [join] attaches a fresh node (its id is the current node count, so
+    ids stay contiguous) by one or two anchor edges; [leave] removes a
+    node, swap-renaming the highest id into the hole (see
+    {!Repro_graph.Graph.remove_node}). [silence] (the default) lets
+    each edit's recovery run to quiescence under the full degradation
+    ladder before the next edit lands; [every:R] imposes an R-round
+    deadline on the first recovery attempt — the pacing pressure that
+    makes the ladder's retries and escalations measurable.
+
+    The canned generators ({!expand}):
+    - [flash-crowd:K] — K nodes join (anchored to uniform existing
+      nodes), then all K leave in reverse join order;
+    - [regional:K] — up to K correlated edge deletions inside one
+      random node's closed neighborhood, skipping any delete that
+      would disconnect the graph;
+    - [maintenance:K] — K distinct edges get fresh (larger) weights,
+      the periodic re-provisioning pattern.
+
+    Expansion only draws from the given RNG and produces ops that are
+    valid by construction when applied in sequence; hand-written op
+    lists are validated by {!Topology.check} instead. *)
+
+type op =
+  | Add_edge of int * int * int  (** [add:U+V+W] *)
+  | Del_edge of int * int  (** [del:U+V] *)
+  | Reweight of int * int * int  (** [reweight:U+V+W] *)
+  | Join of (int * int) list  (** [join:A1+W1+A2+W2...] — anchor edges *)
+  | Leave of int  (** [leave:V] *)
+
+type spec =
+  | Ops of op list
+  | Flash_crowd of int
+  | Regional of int
+  | Maintenance of int
+
+type timing = At_silence | Every of int
+type t = { spec : spec; timing : timing }
+
+(** Canonical grammar spelling of one op, e.g. ["del:2+5"]. *)
+val op_name : op -> string
+
+(** Canonical grammar string of a trace, e.g. ["flash-crowd:2@every:6"];
+    inverse of {!of_string} (modulo the default timing). *)
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Parse one trace; rejects malformed ops (wrong arity, non-numeric
+    fields, odd anchor lists, non-positive counts or periods) with a
+    descriptive message. Range/topology validity is {!Topology.check}'s
+    business — it needs the live graph. *)
+val of_string : string -> (t, string) result
+
+(** Parse a comma-separated trace list. *)
+val parse_list : string -> (t list, string) result
+
+(** The default campaign matrix: one trace per churn family, plus
+    deadline-pressure variants. *)
+val defaults : t list
+
+(** [expand rng g spec] — resolve a spec to the concrete op sequence
+    for a service episode starting from topology [g]. [Ops] passes
+    through verbatim; canned generators draw from [rng] and simulate
+    sequential application so every produced op is valid when applied
+    in order. Fresh weights exceed every weight in [g], keeping weights
+    pairwise distinct. *)
+val expand : Random.State.t -> Repro_graph.Graph.t -> spec -> op list

@@ -1,0 +1,272 @@
+module Graph = Repro_graph.Graph
+open Repro_runtime
+
+module type TREE_PROTOCOL = sig
+  include Protocol.S
+
+  val parent_of : state -> int
+  val loop_free : bool
+end
+
+type event_outcome = {
+  op : string;
+  apply_round : int;
+  gap : int option;
+  steps : int;
+  queries : int;
+  stale : int;
+  violations : int;
+  retries : int;
+  escalations : int;
+  restarts : int;
+  crashes : int;
+  recovered : bool;
+}
+
+type report = {
+  trace : Churn.t;
+  base_rounds : int;
+  base_steps : int;
+  rounds : int;
+  steps : int;
+  events : event_outcome list;
+  recovered : bool;
+  verdict : Watchdog.verdict;
+  n_final : int;
+  m_final : int;
+  max_bits : int;
+}
+
+(* A read answered from a parents snapshot: parent link, root by
+   bounded parent-chase (fuel n; -1 = the chase cycled), tree degree. *)
+let answer parents v =
+  let n = Array.length parents in
+  let parent = parents.(v) in
+  let root =
+    let rec go u fuel =
+      if fuel = 0 then -1
+      else
+        let p = parents.(u) in
+        if p < 0 || p >= n || p = u then u else go p (fuel - 1)
+    in
+    go v n
+  in
+  let degree = ref (if parent >= 0 && parent < n && parent <> v then 1 else 0) in
+  Array.iteri (fun u p -> if u <> v && p = v then incr degree) parents;
+  (parent, root, !degree)
+
+module Make (P : TREE_PROTOCOL) = struct
+  module E = Engine.Make (P)
+
+  let run ?(max_steps = 2_000_000) ?(max_rounds = 20_000) ?(stall_window = 64)
+      ?(cycle_repeats = 3) ?(retry_budget = 2_000) ?(max_retries = 2)
+      ?(queries_per_round = 2) ?(watch_phi = false) ?events g0 ~sched ~fallback rng
+      (trace : Churn.t) =
+    (* Canned generators expand against the starting topology, before
+       any engine run, so the op list is pinned by the seed alone. *)
+    let ops = Churn.expand rng g0 trace.Churn.spec in
+    let wd = Watchdog.create ~stall_window ~cycle_repeats () in
+    let stop_when () = Watchdog.tripped wd <> None in
+    let g = ref g0 in
+    let states = ref (E.adversarial rng g0) in
+    let round_off = ref 0 in
+    let steps_total = ref 0 in
+    let max_bits = ref 0 in
+    let last_silent = ref false in
+    let last_ok = ref false in
+    (* Committed labels: the parent snapshot reads are served from. *)
+    let committed = ref [||] in
+    let served = ref [] in
+    let serving = ref false in
+    let seg_crashes = ref 0 in
+    let seg_violations = ref 0 in
+    let monitor_armed = ref false in
+    let observe r sts =
+      Watchdog.observe_round wd ~round:r ~hash:(Watchdog.config_hash sts)
+        ~snap:(fun () -> Marshal.to_string sts [])
+        ~phi:(if watch_phi then P.potential !g sts else None);
+      if !serving && Array.length !committed > 0 then
+        for q = 0 to queries_per_round - 1 do
+          let v = ((r * 7) + q) mod Array.length !committed in
+          served := (v, answer !committed v) :: !served
+        done
+    in
+    (* Loop monitor: after node [v]'s write, chase its new parent chain;
+       returning to [v] means the move closed a cycle. A chain that
+       dangles or cycles elsewhere is someone else's (adversarial)
+       register, not this move's violation. *)
+    let on_step v sts =
+      if !monitor_armed then begin
+        let n = Array.length sts in
+        let rec chase u fuel =
+          if fuel = 0 then ()
+          else
+            let p = P.parent_of sts.(u) in
+            if p < 0 || p >= n || p = u then ()
+            else if p = v then incr seg_violations
+            else chase p (fuel - 1)
+        in
+        chase v n
+      end
+    in
+    (* One watchdog-guarded engine run under [daemon], clamped to the
+       episode's global budgets. Raising runs are contained and counted
+       as crashes (the machine-level failure mode the ladder exists
+       for); only genuinely fatal conditions propagate. *)
+    let attempt ~daemon ~budget ?init_causes () =
+      let budget = min budget (max_rounds - !round_off) in
+      let steps_left = max_steps - !steps_total in
+      if budget <= 0 || steps_left <= 0 then begin
+        last_silent := false;
+        last_ok := false;
+        None
+      end
+      else begin
+        Watchdog.reset wd;
+        let run_base = !round_off in
+        let on_round r sts = observe (run_base + r) sts in
+        match
+          E.run ~max_steps:steps_left ~max_rounds:budget ~on_round ~on_step ~stop_when
+            ?events ?init_causes ~round_offset:run_base ~step_offset:!steps_total !g
+            daemon rng ~init:!states
+        with
+        | r ->
+            states := r.E.states;
+            round_off := run_base + r.E.rounds;
+            steps_total := !steps_total + r.E.steps;
+            max_bits := max !max_bits r.E.max_bits;
+            last_silent := r.E.silent;
+            last_ok := r.E.silent && r.E.legal;
+            Some r
+        | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+        | exception _ ->
+            incr seg_crashes;
+            last_silent := false;
+            last_ok := false;
+            None
+      end
+    in
+    let ok = function Some r -> r.E.silent && r.E.legal | None -> false in
+    (* Phase 1: stabilize from adversarial, full budget, no ladder —
+       the same contract as a chaos episode's base phase. *)
+    let base = attempt ~daemon:sched ~budget:max_rounds () in
+    let base_rounds = !round_off and base_steps = !steps_total in
+    let finish events_acc =
+      {
+        trace;
+        base_rounds;
+        base_steps;
+        rounds = !round_off;
+        steps = !steps_total;
+        events = List.rev events_acc;
+        recovered = !last_ok;
+        verdict = Watchdog.verdict wd ~silent:!last_silent;
+        n_final = Graph.n !g;
+        m_final = Graph.m !g;
+        max_bits = !max_bits;
+      }
+    in
+    if not (ok base) then finish []
+    else begin
+      committed := Array.map P.parent_of !states;
+      let first_budget =
+        match trace.Churn.timing with
+        | Churn.At_silence -> retry_budget
+        | Churn.Every r -> r
+      in
+      let outcomes =
+        List.fold_left
+          (fun acc op ->
+            let apply_round = !round_off in
+            let steps_before = !steps_total in
+            let retries = ref 0
+            and escalations = ref 0
+            and restarts = ref 0 in
+            seg_crashes := 0;
+            seg_violations := 0;
+            served := [];
+            let g', mig = Topology.apply !g op in
+            let affected = Topology.affected !g op mig in
+            g := g';
+            states :=
+              Topology.migrate !states mig ~fresh:(fun id -> P.random_state rng g' id);
+            (* The edit happens outside the engine, so emit its churn
+               events here and seed the recovery run's provenance: every
+               node a changed view enables was woken by the edit. *)
+            let init_causes =
+              match events with
+              | None -> None
+              | Some sink ->
+                  let op_str = Churn.op_name op in
+                  let eids =
+                    List.map
+                      (fun v ->
+                        (v, Events.emit_churn sink ~node:v ~round:apply_round ~op:op_str))
+                      affected
+                  in
+                  Some
+                    (fun v ->
+                      List.filter_map
+                        (fun (u, e) ->
+                          if u = v || Graph.has_edge g' u v then Some e else None)
+                        eids)
+            in
+            monitor_armed := P.loop_free;
+            serving := true;
+            let recovered =
+              if ok (attempt ~daemon:sched ~budget:first_budget ?init_causes ()) then true
+              else begin
+                let rec retry k =
+                  if k >= max_retries then false
+                  else begin
+                    incr retries;
+                    if ok (attempt ~daemon:sched ~budget:retry_budget ()) then true
+                    else retry (k + 1)
+                  end
+                in
+                if retry 0 then true
+                else begin
+                  incr escalations;
+                  if ok (attempt ~daemon:fallback ~budget:retry_budget ()) then true
+                  else begin
+                    incr restarts;
+                    states := E.adversarial rng !g;
+                    ok (attempt ~daemon:sched ~budget:retry_budget ())
+                  end
+                end
+              end
+            in
+            monitor_armed := false;
+            serving := false;
+            (* Close the staleness window: re-evaluate every served
+               answer against the configuration the event settled on
+               (legal when recovered, the degraded truth otherwise). *)
+            let truth = Array.map P.parent_of !states in
+            let stale =
+              List.fold_left
+                (fun acc (v, ans) ->
+                  if v >= Array.length truth || answer truth v <> ans then acc + 1
+                  else acc)
+                0 !served
+            in
+            committed := truth;
+            {
+              op = Churn.op_name op;
+              apply_round;
+              gap = (if recovered then Some (!round_off - apply_round) else None);
+              steps = !steps_total - steps_before;
+              queries = List.length !served;
+              stale;
+              violations = !seg_violations;
+              retries = !retries;
+              escalations = !escalations;
+              restarts = !restarts;
+              crashes = !seg_crashes;
+              recovered;
+            }
+            :: acc)
+          [] ops
+      in
+      finish outcomes
+    end
+end

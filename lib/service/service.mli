@@ -1,0 +1,124 @@
+(** Service mode: a long-lived tree under topology churn.
+
+    One {e episode} = stabilize a builder from an adversarial
+    configuration, then stream a churn trace ({!Churn.t}) against the
+    live topology. Each edit goes through {!Topology.apply}; surviving
+    nodes keep their registers verbatim, joined nodes boot from
+    [P.random_state] (adversarial boot — stabilization owes them
+    nothing), and the builder re-stabilizes while reads are served from
+    the {e committed} labels (the parent snapshot taken at the last
+    silent legal configuration).
+
+    {b Degradation ladder.} Every recovery runs under a {!Watchdog}.
+    The first attempt gets the timing policy's budget ([every:R] = an
+    R-round deadline; [silence] = the full retry budget); when it
+    fails — budget exhausted, livelock or stall tripped, or the run
+    raised — the ladder engages, all rungs counted per event:
+    bounded {e retries} under the same daemon, one {e escalation} to
+    the fallback daemon, and a full {e restart} from an adversarial
+    configuration as last resort. A run that raises is contained and
+    counted as a {e crash}; the episode continues with the ladder.
+    When the ladder is exhausted the event is recorded unrecovered and
+    the next edit lands on the live (non-silent) configuration — the
+    degraded-but-alive regime, not an abort.
+
+    {b Reads.} At every round boundary of a recovery,
+    [queries_per_round] deterministic lookups (parent, root by bounded
+    parent-chase, tree degree) are answered from the committed
+    snapshot. When the event closes, each answer is re-evaluated
+    against the new configuration; answers that differ (or name a node
+    that left) count as {e stale} — the staleness window made
+    concrete.
+
+    {b Loop-freedom monitor.} For builders declaring [loop_free], every
+    register write during churn recovery is checked: if the writer's
+    new parent chain leads back to itself, the move closed a cycle — a
+    violation of the paper's malleable-PLS loop-freedom guarantee. It
+    is recorded, never fatal. *)
+
+(** What the service layer needs on top of {!Repro_runtime.Protocol.S}:
+    a parent projection for serving reads, and whether the builder
+    claims loop-freedom (MST/MDST's malleable PLS layer does; BFS/SPT's
+    distance layers may transiently cycle by design). *)
+module type TREE_PROTOCOL = sig
+  include Repro_runtime.Protocol.S
+
+  (** The parent link encoded in a register ([-1] or the node itself
+      for "no parent"/root; arbitrary values tolerated). *)
+  val parent_of : state -> int
+
+  (** Whether the builder's moves are expected to preserve the tree
+      invariant between edits (arms the loop monitor). *)
+  val loop_free : bool
+end
+
+(** Per-churn-event accounting. *)
+type event_outcome = {
+  op : string;  (** grammar spelling of the edit *)
+  apply_round : int;  (** cumulative round at which the edit landed *)
+  gap : int option;  (** rounds from the edit to silent+legal; [None] = never *)
+  steps : int;  (** register writes spent on this event's recovery *)
+  queries : int;  (** reads served from committed labels mid-recovery *)
+  stale : int;  (** of those, answers the recovery then contradicted *)
+  violations : int;  (** loop-monitor violations (loop-free builders) *)
+  retries : int;
+  escalations : int;
+  restarts : int;
+  crashes : int;
+  recovered : bool;
+}
+
+type report = {
+  trace : Churn.t;
+  base_rounds : int;  (** initial stabilization, adversarial start *)
+  base_steps : int;
+  rounds : int;  (** cumulative rounds over the whole episode *)
+  steps : int;
+  events : event_outcome list;  (** chronological, one per edit *)
+  recovered : bool;  (** final configuration silent and legal *)
+  verdict : Repro_runtime.Watchdog.verdict;
+  n_final : int;
+  m_final : int;
+  max_bits : int;
+}
+
+module Make (P : TREE_PROTOCOL) : sig
+  module E : module type of Repro_runtime.Engine.Make (P)
+
+  (** [run g ~sched ~fallback rng trace] — run one service episode.
+
+      [retry_budget] (default 2000) is the round budget of every
+      ladder rung past the first attempt; [max_retries] (default 2)
+      caps same-daemon retries; [queries_per_round] (default 2) is the
+      read load. [watch_phi] feeds the live potential to the
+      watchdog's stall detector (leave off for expensive potentials).
+      [max_rounds] / [max_steps] are global episode caps; a ladder
+      rung never runs past them.
+
+      An [events] sink receives the full causal trace on one
+      id-monotone timeline: base stabilization, one [Churn] event per
+      node whose view an edit changed, and every recovery move —
+      seeded so moves chain back to the edit that caused them,
+      mirroring the chaos harness's fault attribution. Sinks consume
+      no RNG draws; episodes are bit-identical with or without one.
+
+      @raise Invalid_argument if an explicit op list in [trace] fails
+      {!Topology.check} (canned generators are valid by
+      construction). *)
+  val run :
+    ?max_steps:int ->
+    ?max_rounds:int ->
+    ?stall_window:int ->
+    ?cycle_repeats:int ->
+    ?retry_budget:int ->
+    ?max_retries:int ->
+    ?queries_per_round:int ->
+    ?watch_phi:bool ->
+    ?events:Repro_runtime.Events.t ->
+    Repro_graph.Graph.t ->
+    sched:Repro_runtime.Scheduler.t ->
+    fallback:Repro_runtime.Scheduler.t ->
+    Random.State.t ->
+    Churn.t ->
+    report
+end

@@ -31,10 +31,12 @@ let dag_ok g evs =
                 | Some u -> u = node || Graph.has_edge g u node
                 | None -> false)
               causes
-        | Events.Fault _ | Events.Round _ -> true
+        | Events.Fault _ | Events.Churn _ | Events.Round _ -> true
       in
       (match ev.Events.kind with
-      | Events.Move { node; _ } | Events.Fault { node; _ } ->
+      | Events.Move { node; _ }
+      | Events.Fault { node; _ }
+      | Events.Churn { node; _ } ->
           Hashtbl.replace writer ev.Events.id node
       | Events.Round _ -> ());
       ok)
@@ -147,7 +149,7 @@ let tainted_moves evs =
   List.filter_map
     (fun (ev : Events.event) ->
       match ev.Events.kind with
-      | Events.Fault _ ->
+      | Events.Fault _ | Events.Churn _ ->
           Hashtbl.replace tainted ev.Events.id ();
           None
       | Events.Move { causes; _ } ->

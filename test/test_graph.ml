@@ -68,6 +68,61 @@ let test_neighbors_sorted () =
   Alcotest.(check (array int)) "sorted" [| 0; 1; 3; 4 |] ns
 
 (* ------------------------------------------------------------------ *)
+(* Incremental edits *)
+
+let test_edit_edges () =
+  let g = fixture () in
+  let g1 = Graph.add_edge g 1 4 9 in
+  Alcotest.(check int) "m after add" 8 (Graph.m g1);
+  Alcotest.(check int) "new weight" 9 (Graph.weight g1 4 1);
+  Alcotest.(check int) "total after add" 37 (Graph.total_weight g1);
+  Alcotest.(check int) "original untouched" 7 (Graph.m g);
+  let g2 = Graph.remove_edge g1 1 4 in
+  Alcotest.(check bool) "removed" false (Graph.has_edge g2 1 4);
+  Alcotest.(check int) "total after remove" 28 (Graph.total_weight g2);
+  let g3 = Graph.reweight_edge g 2 3 50 in
+  Alcotest.(check int) "reweighted" 50 (Graph.weight g3 3 2);
+  Alcotest.(check int) "total after reweight" 73 (Graph.total_weight g3)
+
+let test_edit_nodes () =
+  let g = fixture () in
+  let g1 = Graph.add_node g [ (0, 10); (4, 11) ] in
+  Alcotest.(check int) "n after join" 6 (Graph.n g1);
+  Alcotest.(check int) "anchor edge" 10 (Graph.weight g1 5 0);
+  Alcotest.(check int) "second anchor" 11 (Graph.weight g1 5 4);
+  (* Remove node 1: node 4 is swap-renamed to 1. *)
+  let g2 = Graph.remove_node g 1 in
+  Alcotest.(check int) "n after leave" 4 (Graph.n g2);
+  Alcotest.(check bool) "renamed 4's edge {3,4}" true (Graph.has_edge g2 3 1);
+  Alcotest.(check bool) "renamed 4's edge {2,4}" true (Graph.has_edge g2 2 1);
+  Alcotest.(check bool) "old {0,1} gone" true (Graph.weight g2 0 2 = 3);
+  Alcotest.(check int) "edges dropped" 5 (Graph.m g2);
+  (* Removing the highest id needs no rename. *)
+  let g3 = Graph.remove_node g 4 in
+  Alcotest.(check int) "n" 4 (Graph.n g3);
+  Alcotest.(check int) "m" 5 (Graph.m g3)
+
+let test_edit_validation () =
+  let g = fixture () in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Graph.add_edge g 0 5 1);
+  expect_invalid (fun () -> Graph.add_edge g (-1) 2 1);
+  expect_invalid (fun () -> Graph.add_edge g 2 2 1);
+  expect_invalid (fun () -> Graph.add_edge g 0 1 99);
+  expect_invalid (fun () -> Graph.remove_edge g 1 4);
+  expect_invalid (fun () -> Graph.remove_edge g 0 9);
+  expect_invalid (fun () -> Graph.reweight_edge g 1 4 1);
+  expect_invalid (fun () -> Graph.add_node g []);
+  expect_invalid (fun () -> Graph.add_node g [ (7, 1) ]);
+  expect_invalid (fun () -> Graph.add_node g [ (0, 1); (0, 2) ]);
+  expect_invalid (fun () -> Graph.remove_node g 5);
+  expect_invalid (fun () -> Graph.remove_node (Graph.of_edges 1 []) 0)
+
+(* ------------------------------------------------------------------ *)
 (* Union-find *)
 
 let test_union_find () =
@@ -473,6 +528,71 @@ let prop_fr_within_one =
          Tree.max_degree t <= Min_degree.exact g + 1
          && Min_degree.is_fr_tree g t marking))
 
+(* Satellite: an edited graph is indistinguishable from one built from
+   scratch on the same edge set — CSR mirror and total weight byte for
+   byte (Marshal equality). Applies a random mix of all five edit ops,
+   restricted to choices that keep the graph valid (the service layer's
+   Topology.check enforces the same restriction at run time). *)
+let prop_edits_match_scratch =
+  prop "edits = of_edges from scratch (CSR + total weight)"
+    QCheck2.Gen.(
+      let* n = int_range 3 16 in
+      let* extra = int_range 1 n in
+      let* s = int_bound 1_000_000 in
+      let* ops = int_range 1 12 in
+      return
+        ( Generators.random_connected (Random.State.make [| s |]) ~n ~m:(n - 1 + extra),
+          s,
+          ops ))
+    (fun (g0, s, ops) ->
+      let st = Random.State.make [| s; 0xED17 |] in
+      let g = ref g0 in
+      let next_w = ref (1 + Graph.fold_edges (fun e acc -> max acc e.E.w) 0 g0) in
+      let fresh_w () =
+        incr next_w;
+        !next_w
+      in
+      for _ = 1 to ops do
+        let n = Graph.n !g in
+        match Random.State.int st 5 with
+        | 0 ->
+            (* add a random absent edge, if any slot is free *)
+            let u = Random.State.int st n and v = Random.State.int st n in
+            if u <> v && not (Graph.has_edge !g u v) then
+              g := Graph.add_edge !g u v (fresh_w ())
+        | 1 ->
+            (* remove a random edge whose removal keeps the graph connected *)
+            let es = Graph.edges !g in
+            let e = es.(Random.State.int st (Array.length es)) in
+            let g' = Graph.remove_edge !g e.E.u e.E.v in
+            if Traversal.is_connected g' then g := g'
+        | 2 ->
+            let es = Graph.edges !g in
+            let e = es.(Random.State.int st (Array.length es)) in
+            g := Graph.reweight_edge !g e.E.u e.E.v (fresh_w ())
+        | 3 ->
+            let a = Random.State.int st n in
+            let b = Random.State.int st n in
+            let anchors =
+              if b = a then [ (a, fresh_w ()) ]
+              else [ (a, fresh_w ()); (b, fresh_w ()) ]
+            in
+            g := Graph.add_node !g anchors
+        | _ ->
+            if n > 2 then begin
+              let v = Random.State.int st n in
+              let g' = Graph.remove_node !g v in
+              if Traversal.is_connected g' then g := g'
+            end
+      done;
+      let scratch = Graph.of_edge_list (Graph.n !g) (Array.to_list (Graph.edges !g)) in
+      let bytes f x = Marshal.to_string (f x) [] in
+      bytes Graph.csr_row !g = bytes Graph.csr_row scratch
+      && bytes Graph.csr_col !g = bytes Graph.csr_col scratch
+      && bytes Graph.csr_wgt !g = bytes Graph.csr_wgt scratch
+      && Graph.total_weight !g = Graph.total_weight scratch
+      && Graph.m !g = Graph.m scratch)
+
 let prop_sizes_and_depths =
   prop "tree sizes and depths are consistent" gen_graph (fun g ->
       let t = Tree.of_graph_bfs g ~root:0 in
@@ -499,6 +619,9 @@ let () =
           Alcotest.test_case "validation" `Quick test_graph_validation;
           Alcotest.test_case "edge ops" `Quick test_edge_ops;
           Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+          Alcotest.test_case "edit edges" `Quick test_edit_edges;
+          Alcotest.test_case "edit nodes" `Quick test_edit_nodes;
+          Alcotest.test_case "edit validation" `Quick test_edit_validation;
         ] );
       ("union_find", [ Alcotest.test_case "operations" `Quick test_union_find ]);
       ( "traversal",
@@ -546,6 +669,7 @@ let () =
           prop_nca_consistent;
           prop_tree_path_valid;
           prop_fr_within_one;
+          prop_edits_match_scratch;
           prop_sizes_and_depths;
         ] );
     ]
