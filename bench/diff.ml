@@ -1,11 +1,18 @@
-(* Comparator over BENCH_repro.json artifacts — the bench-regression
-   gate. Records are matched by (exp, algo, n, occurrence); a comparison
-   FAILS when the new artifact regresses steps or rounds by more than
-   [steps_tol] (default 10%) or wall_ns by more than [wall_tol] (default
-   25%). steps/rounds are deterministic for a pinned seed, so any drift
-   there is a semantic change, not noise; wall_ns is CPU time and the
-   tolerance absorbs machine variance (the @smoke wiring passes a much
-   larger one — see PERFORMANCE.md). Improvements never fail. *)
+(* Comparator over BENCH_repro.json / SERVICE_repro.json artifacts —
+   the bench-regression gate. Records are matched by (exp, algo, n,
+   occurrence); a comparison FAILS when the new artifact regresses
+   steps or rounds by more than [steps_tol] (default 10%), wall_ns by
+   more than [wall_tol] (default 25%), or — where both records carry a
+   qps (the serve-bench tier) — drops throughput by more than [qps_tol]
+   (default 30%). steps/rounds are deterministic for a pinned seed, so
+   any drift there is a semantic change, not noise; wall_ns and qps are
+   wall-clock measurements and the tolerances absorb machine variance
+   (the @smoke/@servebench wiring passes much larger ones — see
+   PERFORMANCE.md). Improvements never fail.
+
+   Service artifacts load through the same record shape: cells are
+   keyed by (trace, algo, n0), carry no wall_ns (0), and the big-tier
+   cells carry qps. *)
 
 module Json = Repro_runtime.Metrics.Json
 
@@ -17,6 +24,7 @@ type record = {
   steps : int;
   max_bits : int;
   wall_ns : int;
+  qps : int option;
 }
 
 type key = { kexp : string; kalgo : string; kn : int; occurrence : int }
@@ -35,7 +43,19 @@ let record_of_json j =
          int "wall_ns")
   with
   | Some exp, Some algo, Some n, Some rounds, Some steps, Some max_bits, Some wall_ns
-    -> Some { exp; algo; n; rounds; steps; max_bits; wall_ns }
+    -> Some { exp; algo; n; rounds; steps; max_bits; wall_ns; qps = int "qps" }
+  | _ -> None
+
+(* A SERVICE_repro.json cell mapped onto the record shape: the churn
+   trace plays the experiment name, n0 the size; there is no per-cell
+   wall time (0 = never breaches), and big-tier cells carry qps. *)
+let record_of_service_cell j =
+  let str k = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None in
+  let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+  match (str "trace", str "algo", int "n0", int "rounds", int "steps", int "max_bits")
+  with
+  | Some exp, Some algo, Some n, Some rounds, Some steps, Some max_bits ->
+      Some { exp; algo; n; rounds; steps; max_bits; wall_ns = 0; qps = int "qps" }
   | _ -> None
 
 let load path =
@@ -45,13 +65,18 @@ let load path =
       match Json.of_string contents with
       | None -> Error (path ^ ": not valid JSON")
       | Some j -> (
-          match Json.member "experiments" j with
-          | Some (Json.List items) ->
+          match (Json.member "experiments" j, Json.member "cells" j) with
+          | Some (Json.List items), _ ->
               let records = List.filter_map record_of_json items in
               if List.length records <> List.length items then
                 Error (path ^ ": malformed experiment record")
               else Ok records
-          | _ -> Error (path ^ ": missing \"experiments\" list")))
+          | None, Some (Json.List items) ->
+              let records = List.filter_map record_of_service_cell items in
+              if List.length records <> List.length items then
+                Error (path ^ ": malformed service cell")
+              else Ok records
+          | _ -> Error (path ^ ": missing \"experiments\" or \"cells\" list")))
 
 (* Records keyed by (exp, algo, n) with a running occurrence index, so
    repeated configurations (E2 runs gnp-16 twice) stay distinguishable
@@ -70,9 +95,10 @@ let keyed records =
 (* Identity comparison (bench-diff --require-identical): two artifacts
    produced from the same seeds at different [--jobs] must agree in
    every field except wall time. Schema-agnostic — works on
-   BENCH_repro.json and CHAOS_repro.json alike: [wall_ns] fields are
-   stripped recursively, then the JSON trees must be equal, and the
-   first divergence is reported by path. *)
+   BENCH_repro.json, CHAOS_repro.json and SERVICE_repro.json alike:
+   [wall_ns] and the wall-derived [qps] fields are stripped
+   recursively, then the JSON trees must be equal, and the first
+   divergence is reported by path. *)
 
 let load_json path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -86,7 +112,8 @@ let rec strip_wall = function
   | Json.Obj fields ->
       Json.Obj
         (List.filter_map
-           (fun (k, v) -> if k = "wall_ns" then None else Some (k, strip_wall v))
+           (fun (k, v) ->
+             if k = "wall_ns" || k = "qps" then None else Some (k, strip_wall v))
            fields)
   | Json.List items -> Json.List (List.map strip_wall items)
   | j -> j
@@ -137,7 +164,7 @@ let ratio old_v new_v =
   if old_v = 0 then if new_v = 0 then 1.0 else infinity
   else float_of_int new_v /. float_of_int old_v
 
-let compare_one ~steps_tol ~wall_tol ckey old_r new_r =
+let compare_one ~steps_tol ~wall_tol ~qps_tol ckey old_r new_r =
   let breaches = ref [] in
   let check name old_v new_v tol =
     let r = ratio old_v new_v in
@@ -151,6 +178,18 @@ let compare_one ~steps_tol ~wall_tol ckey old_r new_r =
   check "steps" old_r.steps new_r.steps steps_tol;
   check "rounds" old_r.rounds new_r.rounds steps_tol;
   check "wall_ns" old_r.wall_ns new_r.wall_ns wall_tol;
+  (* qps is a throughput: a breach is a drop, not a growth. Only
+     compared when both records carry it (the serve-bench tier). *)
+  (match (old_r.qps, new_r.qps) with
+  | Some o, Some nw when o > 0 ->
+      let r = float_of_int nw /. float_of_int o in
+      if r < 1.0 -. qps_tol then
+        breaches :=
+          Printf.sprintf "qps %d -> %d (%.1f%% drop > %.0f%% tolerance)" o nw
+            ((1.0 -. r) *. 100.)
+            (qps_tol *. 100.)
+          :: !breaches
+  | _ -> ());
   let verdict =
     match List.rev !breaches with
     | _ :: _ as b -> Regressed b
@@ -162,14 +201,15 @@ let compare_one ~steps_tol ~wall_tol ckey old_r new_r =
   in
   { ckey; old_r; new_r; verdict }
 
-let diff ?(steps_tol = 0.10) ?(wall_tol = 0.25) ~old_records ~new_records () =
+let diff ?(steps_tol = 0.10) ?(wall_tol = 0.25) ?(qps_tol = 0.30) ~old_records
+    ~new_records () =
   let old_k = keyed old_records and new_k = keyed new_records in
   let find k l = List.find_opt (fun (k', _) -> k' = k) l in
   let comparisons =
     List.filter_map
       (fun (k, o) ->
         match find k new_k with
-        | Some (_, n) -> Some (compare_one ~steps_tol ~wall_tol k o n)
+        | Some (_, n) -> Some (compare_one ~steps_tol ~wall_tol ~qps_tol k o n)
         | None -> None)
       old_k
   in
@@ -211,7 +251,10 @@ let pp_report ppf r =
         verdict;
       if c.old_r.max_bits <> c.new_r.max_bits then
         Format.fprintf ppf "%-22s   warning: max_bits %d -> %d@." ""
-          c.old_r.max_bits c.new_r.max_bits)
+          c.old_r.max_bits c.new_r.max_bits;
+      match (c.old_r.qps, c.new_r.qps) with
+      | Some o, Some nw -> Format.fprintf ppf "%-22s   qps %d -> %d@." "" o nw
+      | _ -> ())
     r.comparisons;
   if r.missing <> [] then
     Format.fprintf ppf "not in new artifact (skipped): %a@."

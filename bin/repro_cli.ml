@@ -403,7 +403,7 @@ let sweep_cmd =
        $ jobs_arg))
 
 let bench_diff_cmd =
-  let diff old_path new_path steps_tol wall_tol require_identical =
+  let diff old_path new_path steps_tol wall_tol qps_tol require_identical =
     if require_identical then
       (* Schema-agnostic identity gate for parallel-campaign artifacts:
          same seeds at different --jobs must agree in every field except
@@ -428,7 +428,7 @@ let bench_diff_cmd =
       | Ok old_records, Ok new_records ->
           let report =
             Repro_bench.Diff.diff ~steps_tol:(pct steps_tol) ~wall_tol:(pct wall_tol)
-              ~old_records ~new_records ()
+              ~qps_tol:(pct qps_tol) ~old_records ~new_records ()
           in
           Format.printf "%a" Repro_bench.Diff.pp_report report;
           if report.Repro_bench.Diff.comparisons = [] then
@@ -471,25 +471,34 @@ let bench_diff_cmd =
              machines; the smoke gate passes 400 to only catch catastrophic \
              slowdowns deterministically.")
   in
+  let qps_tol_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "qps-tol" ] ~docv:"PCT"
+          ~doc:
+            "Allowed drop in qps (serve-bench throughput), percent. Like wall_ns it \
+             is a wall-clock measurement; the @servebench gate passes 400 to only \
+             catch catastrophic slowdowns deterministically.")
+  in
   let require_identical_arg =
     Arg.(
       value & flag
       & info [ "require-identical" ]
           ~doc:
-            "Identity mode: strip every wall_ns field from both artifacts and fail on \
-             any other difference (field drift, record order, missing/extra records). \
-             Schema-agnostic, so it also gates CHAOS_repro.json produced at different \
-             --jobs values.")
+            "Identity mode: strip every wall_ns and qps field from both artifacts and \
+             fail on any other difference (field drift, record order, missing/extra \
+             records). Schema-agnostic, so it also gates CHAOS_repro.json and \
+             SERVICE_repro.json produced at different --jobs values.")
   in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
-         "Compare two BENCH_repro.json artifacts; exit 1 on steps/rounds/wall_ns \
-          regression beyond tolerance (or, with --require-identical, on any non-wall \
-          difference).")
+         "Compare two BENCH_repro.json or SERVICE_repro.json artifacts; exit 1 on \
+          steps/rounds/wall_ns/qps regression beyond tolerance (or, with \
+          --require-identical, on any non-wall difference).")
     Term.(
       ret
-        (const diff $ old_arg $ new_arg $ steps_tol_arg $ wall_tol_arg
+        (const diff $ old_arg $ new_arg $ steps_tol_arg $ wall_tol_arg $ qps_tol_arg
        $ require_identical_arg))
 
 let chaos_cmd =
@@ -638,7 +647,8 @@ let serve_cmd =
   let module Service_campaign = Repro_campaign.Service_campaign in
   let module Churn = Repro_service.Churn in
   let serve family n seeds seed algos_s traces_s daemons_s max_rounds retry_budget
-      max_retries queries_per_round stall_window cycle_repeats out jobs trace_dir =
+      max_retries queries_per_round stall_window cycle_repeats packed big big_nmax
+      queries query_jobs out jobs trace_dir =
     let split s =
       String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
     in
@@ -664,16 +674,55 @@ let serve_cmd =
                     algo_list
                 with
                 | Some a -> `Error (false, Printf.sprintf "unknown algorithm %S" a)
+                | None when packed && trace_dir <> None ->
+                    `Error
+                      ( false,
+                        "--packed is incompatible with --trace-out (causal tracing \
+                         needs the boxed engine)" )
                 | None ->
                     (match trace_dir with
                     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
                     | _ -> ());
-                    let cells =
-                      Pool.with_pool ~jobs (fun pool ->
-                          Service_campaign.run_matrix ~pool ~gen ~n ~seeds
-                            ~seed_base:seed ~algos:algo_list ~traces ~daemons
-                            ~max_rounds ~retry_budget ~max_retries ~queries_per_round
-                            ~stall_window ~cycle_repeats ?trace_dir ())
+                    let query_jobs =
+                      if query_jobs > 0 then query_jobs else Pool.default_jobs ()
+                    in
+                    let cells, baselines =
+                      Pool.with_pool ~jobs:(max jobs query_jobs) (fun pool ->
+                          let std =
+                            Service_campaign.run_matrix ~pool ~gen ~n ~seeds
+                              ~seed_base:seed ~algos:algo_list ~traces ~daemons
+                              ~max_rounds ~retry_budget ~max_retries
+                              ~queries_per_round ~stall_window ~cycle_repeats ~packed
+                              ?trace_dir ()
+                          in
+                          if not big then (std, [])
+                          else begin
+                            (* The big serve-bench tier: qps vs churn rate
+                               (two flash-crowd intensities) at growing n,
+                               clamped by --big-nmax like the bench tier. *)
+                            let big_traces =
+                              [
+                                { Churn.spec = Churn.Flash_crowd 2;
+                                  timing = Churn.At_silence };
+                                { Churn.spec = Churn.Flash_crowd 8;
+                                  timing = Churn.At_silence };
+                              ]
+                            in
+                            let ns =
+                              List.filter
+                                (fun x -> x <= big_nmax)
+                                Service_campaign.big_ns
+                            in
+                            let bench, baselines =
+                              Service_campaign.run_bench ~pool ~ns
+                                ~algos:Service_campaign.big_algos ~traces:big_traces
+                                ~seed_base:seed ~queries ~query_jobs ~packed
+                                ~baseline_nmax:1_000 ~max_rounds ~retry_budget
+                                ~max_retries ~queries_per_round ~stall_window
+                                ~cycle_repeats ()
+                            in
+                            (std @ bench, baselines)
+                          end)
                     in
                     (match trace_dir with
                     | Some dir ->
@@ -683,6 +732,17 @@ let serve_cmd =
                     List.iter
                       (fun c -> Format.printf "%s@." (Service_campaign.csv_row c))
                       cells;
+                    List.iter
+                      (fun (b : Service_campaign.baseline) ->
+                        Format.printf
+                          "serve-bench baseline: algo=%s trace=%s n=%d \
+                           snapshot_qps=%d chase_qps=%d speedup=%.1fx@."
+                          b.Service_campaign.b_algo b.Service_campaign.b_trace
+                          b.Service_campaign.b_n b.Service_campaign.b_snapshot_qps
+                          b.Service_campaign.b_chase_qps
+                          (float_of_int b.Service_campaign.b_snapshot_qps
+                          /. float_of_int (max 1 b.Service_campaign.b_chase_qps)))
+                      baselines;
                     let failures = Service_campaign.failed cells in
                     let json =
                       Service_campaign.campaign_json ~family ~n ~seeds ~seed_base:seed
@@ -697,6 +757,15 @@ let serve_cmd =
                       (List.length cells - failures)
                       failures out;
                     if failures > 0 then begin
+                      (* Name every failing cell before the hard exit: the
+                         full key identifies the episode to re-run and the
+                         watchdog verdict says how it died. *)
+                      List.iter
+                        (fun c ->
+                          if not (Service_campaign.recovered c) then
+                            Format.printf "serve: FAILED %s@."
+                              (Service_campaign.failure_line c))
+                        cells;
                       Format.printf "serve: FAIL@.";
                       exit 1
                     end;
@@ -709,7 +778,7 @@ let serve_cmd =
     Arg.(
       value & opt string "bfs,mst,spt"
       & info [ "algos" ] ~docv:"A1,A2,.."
-          ~doc:"Comma-separated tree builders (bfs, mst, mdst, spt).")
+          ~doc:"Comma-separated tree builders (bfs, mst, mdst, spt, adhoc-bfs).")
   in
   let traces_arg =
     Arg.(
@@ -753,9 +822,9 @@ let serve_cmd =
       value & opt int 2
       & info [ "queries-per-round" ] ~docv:"Q"
           ~doc:
-            "Reads served from committed labels at every round boundary of a recovery \
-             (parent/root/degree lookups, re-checked for staleness when the event \
-             closes).")
+            "Pair reads served from the committed label snapshot at every round \
+             boundary of a recovery (parent/root/degree/ancestor/nca/route-length \
+             lookups, re-checked for staleness when the event closes).")
   in
   let stall_window_arg =
     Arg.(
@@ -769,6 +838,52 @@ let serve_cmd =
       & info [ "cycle-repeats" ] ~docv:"C"
           ~doc:
             "Watchdog: occurrences of one configuration hash that count as a livelock.")
+  in
+  let packed_arg =
+    Arg.(
+      value & flag
+      & info [ "packed" ]
+          ~doc:
+            "Drive fixed-width builders (bfs, spt, adhoc-bfs) with the \
+             struct-of-arrays service engine: registers live in the packed int bank \
+             across the whole episode, churn migration copies surviving lanes \
+             verbatim, joiners boot adversarially in-bank. Episode-equivalent to the \
+             boxed engine (same seeds, same artifact modulo wall-derived fields); \
+             variable-width builders (mst, mdst) always run boxed. Incompatible with \
+             $(b,--trace-out).")
+  in
+  let big_arg =
+    Arg.(
+      value & flag
+      & info [ "big" ]
+          ~doc:
+            "Append the big serve-bench tier: bfs/spt x n in {1e3,1e4,1e5} x two \
+             flash-crowd intensities under the synchronous daemon, each episode \
+             followed by a timed batch of snapshot pair queries; cells carry \
+             tier=big and qps. At n=1000 the O(n) parent-chase baseline is measured \
+             too and printed for comparison.")
+  in
+  let big_nmax_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "big-nmax" ] ~docv:"N"
+          ~doc:"Clamp the big-tier sizes to n <= $(docv) (CI uses 1000).")
+  in
+  let queries_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "queries" ] ~docv:"Q"
+          ~doc:"Pair queries per big-tier qps measurement batch.")
+  in
+  let query_jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "query-jobs" ] ~docv:"W"
+          ~doc:
+            "Worker streams a big-tier query batch fans out over (0 = the pool \
+             default). Each stream draws from its own seeded RNG and results merge \
+             in canonical worker order, so everything but the wall-derived qps is \
+             independent of $(docv).")
   in
   let out_arg =
     Arg.(
@@ -799,8 +914,9 @@ let serve_cmd =
       ret
         (const serve $ graph_arg $ n_arg $ seeds_arg $ seed_arg $ algos_arg $ traces_arg
        $ daemons_arg $ max_rounds_arg $ retry_budget_arg $ max_retries_arg
-       $ queries_per_round_arg $ stall_window_arg $ cycle_repeats_arg $ out_arg
-       $ jobs_arg $ trace_dir_arg))
+       $ queries_per_round_arg $ stall_window_arg $ cycle_repeats_arg $ packed_arg
+       $ big_arg $ big_nmax_arg $ queries_arg $ query_jobs_arg $ out_arg $ jobs_arg
+       $ trace_dir_arg))
 
 let slurp path =
   let ic = open_in_bin path in

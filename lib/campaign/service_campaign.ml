@@ -2,6 +2,7 @@ open Repro_graph
 open Repro_runtime
 open Repro_core
 open Repro_service
+module Adhoc_bfs = Repro_baselines.Adhoc_bfs
 module Json = Metrics.Json
 
 type cell = {
@@ -12,10 +13,17 @@ type cell = {
   seed_index : int;
   n0 : int;
   m0 : int;
+  tier : string;
+  qps : int option;
   report : Service.report;
 }
 
-let known_algos = [ "bfs"; "mst"; "mdst"; "spt" ]
+let known_algos = [ "bfs"; "mst"; "mdst"; "spt"; "adhoc-bfs" ]
+
+(* The fixed-width builders the struct-of-arrays service engine covers;
+   [--packed] silently keeps the others (variable-width MST/MDST
+   registers) on the boxed engine. *)
+let packed_algos = [ "bfs"; "spt"; "adhoc-bfs" ]
 let cheap_phi = Campaign.cheap_phi
 
 (* Parent projections over the builders' register layouts. The
@@ -50,28 +58,76 @@ module Spt_tree = struct
   let loop_free = false
 end
 
+module Adhoc_tree = struct
+  include Adhoc_bfs.P
+
+  let parent_of (s : Adhoc_bfs.state) = s.Adhoc_bfs.parent
+  let loop_free = false
+end
+
+(* The packed twins: same parent projections over the fixed-width
+   codecs, for [Service.Make_packed]. *)
+module Bfs_tree_packed = struct
+  include Bfs_builder.Packed
+
+  let parent_of (s : St_layer.t) = s.St_layer.parent
+  let loop_free = false
+end
+
+module Spt_tree_packed = struct
+  include Spt_builder.Packed
+
+  let parent_of (s : Spt_builder.state) = s.Spt_builder.parent
+  let loop_free = false
+end
+
+module Adhoc_tree_packed = struct
+  include Adhoc_bfs.Packed
+
+  let parent_of (s : Adhoc_bfs.state) = s.Adhoc_bfs.parent
+  let loop_free = false
+end
+
 let fallback_for sched_name =
   if sched_name = "random" then ("distributed", Scheduler.Distributed 0.5)
   else ("random", Scheduler.Central Scheduler.Random_daemon)
 
 let run_episode algo g ~sched ~fallback rng ~trace ~max_rounds ~retry_budget
-    ~max_retries ~queries_per_round ~stall_window ~cycle_repeats ?events () =
+    ~max_retries ~queries_per_round ~stall_window ~cycle_repeats ?(packed = false)
+    ?snapshot ?events () =
   let generic (type s) (module P : Service.TREE_PROTOCOL with type state = s)
       ~watch_phi =
     let module S = Service.Make (P) in
     S.run ~max_rounds ~stall_window ~cycle_repeats ~retry_budget ~max_retries
-      ~queries_per_round ~watch_phi ?events g ~sched ~fallback rng trace
+      ~queries_per_round ~watch_phi ?snapshot ?events g ~sched ~fallback rng trace
   in
+  let generic_packed (type s)
+      (module P : Service.PACKED_TREE_PROTOCOL with type state = s) ~watch_phi =
+    let module S = Service.Make_packed (P) in
+    S.run ~max_rounds ~stall_window ~cycle_repeats ~retry_budget ~max_retries
+      ~queries_per_round ~watch_phi ?snapshot g ~sched ~fallback rng trace
+  in
+  (* Causal tracing needs the boxed engine's event plumbing; episodes
+     are engine-equivalent anyway (pinned by test_service), so a traced
+     cell just runs boxed. *)
+  let packed = packed && events = None in
   match algo with
-  | "bfs" -> generic (module Bfs_tree) ~watch_phi:true
+  | "bfs" ->
+      if packed then generic_packed (module Bfs_tree_packed) ~watch_phi:true
+      else generic (module Bfs_tree) ~watch_phi:true
   | "mst" -> generic (module Mst_tree) ~watch_phi:false
   | "mdst" -> generic (module Mdst_tree) ~watch_phi:false
-  | "spt" -> generic (module Spt_tree) ~watch_phi:true
+  | "spt" ->
+      if packed then generic_packed (module Spt_tree_packed) ~watch_phi:true
+      else generic (module Spt_tree) ~watch_phi:true
+  | "adhoc-bfs" ->
+      if packed then generic_packed (module Adhoc_tree_packed) ~watch_phi:true
+      else generic (module Adhoc_tree) ~watch_phi:true
   | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
 
 let run_matrix ~pool ~gen ~n ~seeds ~seed_base ~algos ~traces ~daemons ~max_rounds
     ~retry_budget ~max_retries ~queries_per_round ~stall_window ~cycle_repeats
-    ?trace_dir () =
+    ?(packed = false) ?trace_dir () =
   (* Canonical enumeration + per-cell RNG, exactly like the chaos
      matrix: Pool.map returns results in spec order, so the artifact is
      independent of --jobs. *)
@@ -127,7 +183,7 @@ let run_matrix ~pool ~gen ~n ~seeds ~seed_base ~algos ~traces ~daemons ~max_roun
           (fun () ->
             run_episode algo g ~sched ~fallback rng ~trace ~max_rounds
               ~retry_budget ~max_retries ~queries_per_round ~stall_window
-              ~cycle_repeats ?events ())
+              ~cycle_repeats ~packed ?events ())
       in
       {
         algo;
@@ -137,12 +193,159 @@ let run_matrix ~pool ~gen ~n ~seeds ~seed_base ~algos ~traces ~daemons ~max_roun
         seed_index = s;
         n0 = Graph.n g;
         m0 = Graph.m g;
+        tier = "std";
+        qps = None;
         report;
       })
     specs
 
-let failed cells =
-  List.length (List.filter (fun c -> not c.report.Service.recovered) cells)
+(* ------------------------------------------------------------------ *)
+(* The big serve-bench tier (serve --big, the @servebench alias):
+   builder x size x churn trace on random-connected graphs under the
+   synchronous daemon, one seed per cell like the big bench tier, then
+   a timed batch of pair queries against the episode's final committed
+   snapshot. Episodes run {e sequentially} — a query batch fans out
+   over the pool, and [Pool.map] nested inside a pool worker would
+   serialize it. *)
+
+let big_ns = [ 1_000; 10_000; 100_000 ]
+let big_algos = [ "bfs"; "spt" ]
+
+let answer_checksum (a : Snapshot.answer) =
+  a.Snapshot.a_parent + (3 * a.Snapshot.a_root) + (5 * a.Snapshot.a_degree)
+  + (if a.Snapshot.a_ancestor then 7 else 0)
+  + (11 * a.Snapshot.a_nca) + (13 * a.Snapshot.a_route)
+
+(* Chunk [queries] across [query_jobs] seeded worker streams and time
+   the whole batch. Per-worker results come back in worker order
+   (Pool.map's determinism contract), so the folded checksum is stable
+   for a fixed [query_jobs] at any pool size — only the wall-derived
+   qps varies. *)
+let timed_batch pool ~queries ~query_jobs ~seed_base worker =
+  let jobs = max 1 query_jobs in
+  let per = queries / jobs and rem = queries mod jobs in
+  let plan = List.init jobs (fun w -> (w, per + if w < rem then 1 else 0)) in
+  let t0 = Unix.gettimeofday () in
+  let sums =
+    Pool.map pool
+      (fun (w, k) -> worker (Random.State.make [| seed_base; 0x9E5; w |]) k)
+      plan
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let qps = int_of_float (float_of_int queries /. Float.max 1e-9 wall) in
+  (qps, List.fold_left ( + ) 0 sums)
+
+let measure_qps pool snap ~queries ~query_jobs ~seed_base =
+  let n = Snapshot.n snap in
+  timed_batch pool ~queries ~query_jobs ~seed_base (fun rng k ->
+      let acc = ref 0 in
+      for _ = 1 to k do
+        let v = Random.State.int rng n in
+        let u = Random.State.int rng n in
+        acc := !acc + answer_checksum (Snapshot.answer snap ~v ~u)
+      done;
+      !acc)
+
+(* The pre-snapshot read path timed the same way — the O(n)-per-query
+   parent-chase baseline the PERFORMANCE.md speedup table quotes. *)
+let measure_chase_qps pool snap ~queries ~query_jobs ~seed_base =
+  let n = Snapshot.n snap in
+  let parents = Array.init n (Snapshot.parent snap) in
+  timed_batch pool ~queries ~query_jobs ~seed_base (fun rng k ->
+      let acc = ref 0 in
+      for _ = 1 to k do
+        let v = Random.State.int rng n in
+        let parent, root, degree = Service.answer parents v in
+        acc := !acc + parent + (3 * root) + (5 * degree)
+      done;
+      !acc)
+
+type baseline = {
+  b_algo : string;
+  b_trace : string;
+  b_n : int;
+  b_snapshot_qps : int;
+  b_chase_qps : int;
+}
+
+let run_bench ~pool ~ns ~algos ~traces ~seed_base ~queries ~query_jobs ~packed
+    ~baseline_nmax ~max_rounds ~retry_budget ~max_retries ~queries_per_round
+    ~stall_window ~cycle_repeats () =
+  let sched_name = "synchronous" and sched = Scheduler.Synchronous in
+  let fallback_name, fallback = fallback_for sched_name in
+  let specs =
+    List.concat_map
+      (fun algo ->
+        List.concat_map (fun n -> List.map (fun t -> (algo, n, t)) traces) ns)
+      algos
+  in
+  let baselines = ref [] in
+  let cells =
+    List.map
+      (fun (algo, n, trace) ->
+        let trace_name = Churn.name trace in
+        let rng =
+          Random.State.make
+            [| seed_base; Hashtbl.hash (algo, trace_name, sched_name); n; 1 |]
+        in
+        let g = Generators.random_connected rng ~n ~m:(2 * n) in
+        let snapshot = Snapshot.create () in
+        let report =
+          run_episode algo g ~sched ~fallback rng ~trace ~max_rounds ~retry_budget
+            ~max_retries ~queries_per_round ~stall_window ~cycle_repeats ~packed
+            ~snapshot ()
+        in
+        let qps, _checksum =
+          measure_qps pool snapshot ~queries ~query_jobs ~seed_base
+        in
+        if n <= baseline_nmax then begin
+          let chase, _ =
+            measure_chase_qps pool snapshot ~queries ~query_jobs ~seed_base
+          in
+          baselines :=
+            {
+              b_algo = algo;
+              b_trace = trace_name;
+              b_n = n;
+              b_snapshot_qps = qps;
+              b_chase_qps = chase;
+            }
+            :: !baselines
+        end;
+        {
+          algo;
+          trace_name;
+          sched_name;
+          fallback_name;
+          seed_index = 1;
+          n0 = Graph.n g;
+          m0 = Graph.m g;
+          tier = "big";
+          qps = Some qps;
+          report;
+        })
+      specs
+  in
+  (cells, List.rev !baselines)
+
+let recovered c = c.report.Service.recovered
+
+let failed cells = List.length (List.filter (fun c -> not (recovered c)) cells)
+
+(* The full cell key plus how the watchdog saw the episode die — what
+   [repro_cli serve] prints for every failing cell before exiting 1. *)
+let failure_line c =
+  let r = c.report in
+  let done_events =
+    List.length (List.filter (fun (e : Service.event_outcome) -> e.Service.recovered)
+        r.Service.events)
+  in
+  Printf.sprintf
+    "algo=%s trace=%s sched=%s seed=%d tier=%s: verdict=%s (%d/%d events recovered)"
+    c.algo c.trace_name c.sched_name c.seed_index c.tier
+    (Watchdog.verdict_name r.Service.verdict)
+    done_events
+    (List.length r.Service.events)
 
 let csv_header =
   "algo,trace,sched,fallback,seed,recovered,verdict,base_rounds,rounds,steps,\
@@ -191,35 +394,39 @@ let cell_json c =
   let r = c.report in
   let q, st, vl, re, es, rs, cr = totals r in
   Json.Obj
-    [
-      ("algo", Json.Str c.algo);
-      ("trace", Json.Str c.trace_name);
-      ("sched", Json.Str c.sched_name);
-      ("fallback", Json.Str c.fallback_name);
-      ("seed", Json.Int c.seed_index);
-      ("n0", Json.Int c.n0);
-      ("m0", Json.Int c.m0);
-      ("n_final", Json.Int r.Service.n_final);
-      ("m_final", Json.Int r.Service.m_final);
-      ("base_rounds", Json.Int r.Service.base_rounds);
-      ("rounds", Json.Int r.Service.rounds);
-      ("steps", Json.Int r.Service.steps);
-      ("recovered", Json.Bool r.Service.recovered);
-      ("verdict", Json.Str (Watchdog.verdict_name r.Service.verdict));
-      ("max_bits", Json.Int r.Service.max_bits);
-      ( "totals",
-        Json.Obj
-          [
-            ("queries", Json.Int q);
-            ("stale", Json.Int st);
-            ("violations", Json.Int vl);
-            ("retries", Json.Int re);
-            ("escalations", Json.Int es);
-            ("restarts", Json.Int rs);
-            ("crashes", Json.Int cr);
-          ] );
-      ("events", Json.List (List.map event_json r.Service.events));
-    ]
+    ([
+       ("algo", Json.Str c.algo);
+       ("trace", Json.Str c.trace_name);
+       ("sched", Json.Str c.sched_name);
+       ("fallback", Json.Str c.fallback_name);
+       ("seed", Json.Int c.seed_index);
+       ("tier", Json.Str c.tier);
+       ("n0", Json.Int c.n0);
+       ("m0", Json.Int c.m0);
+       ("n_final", Json.Int r.Service.n_final);
+       ("m_final", Json.Int r.Service.m_final);
+       ("base_rounds", Json.Int r.Service.base_rounds);
+       ("rounds", Json.Int r.Service.rounds);
+       ("steps", Json.Int r.Service.steps);
+       ("recovered", Json.Bool r.Service.recovered);
+       ("verdict", Json.Str (Watchdog.verdict_name r.Service.verdict));
+       ("max_bits", Json.Int r.Service.max_bits);
+     ]
+    @ (match c.qps with Some rate -> [ ("qps", Json.Int rate) ] | None -> [])
+    @ [
+        ( "totals",
+          Json.Obj
+            [
+              ("queries", Json.Int q);
+              ("stale", Json.Int st);
+              ("violations", Json.Int vl);
+              ("retries", Json.Int re);
+              ("escalations", Json.Int es);
+              ("restarts", Json.Int rs);
+              ("crashes", Json.Int cr);
+            ] );
+        ("events", Json.List (List.map event_json r.Service.events));
+      ])
 
 let campaign_json ~family ~n ~seeds ~seed_base ~traces ~retry_budget ~max_retries
     ~queries_per_round cells =

@@ -14,12 +14,19 @@ type cell = {
   seed_index : int;
   n0 : int;  (** starting topology *)
   m0 : int;
+  tier : string;  (** "std" (the churn matrix) or "big" (serve bench) *)
+  qps : int option;  (** big tier only: measured snapshot-read throughput *)
   report : Repro_service.Service.report;
 }
 
-(** The builders service mode covers: the four tree protocols with a
-    parent projection (["bfs"; "mst"; "mdst"; "spt"]). *)
+(** The builders service mode covers: the tree protocols with a parent
+    projection (["bfs"; "mst"; "mdst"; "spt"; "adhoc-bfs"]). *)
 val known_algos : string list
+
+(** The fixed-width builders [~packed] runs on the struct-of-arrays
+    service engine (["bfs"; "spt"; "adhoc-bfs"]); the variable-width
+    MST/MDST registers always stay on the boxed engine. *)
+val packed_algos : string list
 
 (** [fallback_for sched_name] — the escalation daemon for a cell: a
     daemon of a {e different} family than the primary (randomized
@@ -29,8 +36,11 @@ val known_algos : string list
 val fallback_for : string -> string * Repro_runtime.Scheduler.t
 
 (** Run the full matrix over the pool. [gen] produces the starting
-    topology from the cell RNG; [trace_dir], when given, streams one
-    causal JSONL trace per cell into it. *)
+    topology from the cell RNG; [packed] runs the {!packed_algos} on
+    the struct-of-arrays service engine (episode-equivalent, so the
+    artifact is identical modulo wall-derived fields); [trace_dir],
+    when given, streams one causal JSONL trace per cell into it (a
+    traced cell always runs boxed — tracing needs the boxed engine). *)
 val run_matrix :
   pool:Repro_runtime.Pool.t ->
   gen:(Random.State.t -> n:int -> Repro_graph.Graph.t) ->
@@ -46,15 +56,94 @@ val run_matrix :
   queries_per_round:int ->
   stall_window:int ->
   cycle_repeats:int ->
+  ?packed:bool ->
   ?trace_dir:string ->
   unit ->
   cell list
 
+(** {2 The big serve-bench tier (serve [--big], the [@servebench] alias)} *)
+
+(** Default sizes and builders of the big tier: n in 1e3/1e4/1e5 (the
+    CLI clamps with [--big-nmax]), BFS and SPT. *)
+val big_ns : int list
+
+val big_algos : string list
+
+(** [measure_qps pool snap ~queries ~query_jobs ~seed_base] — time
+    [queries] random pair lookups ({!Repro_service.Snapshot.answer})
+    against a committed snapshot, fanned out over [query_jobs] seeded
+    worker streams on the pool; returns [(qps, checksum)]. The
+    checksum folds every answer in canonical worker order, so it is
+    deterministic for a fixed [query_jobs] at any pool size — only the
+    wall-derived qps varies run to run. *)
+val measure_qps :
+  Repro_runtime.Pool.t ->
+  Repro_service.Snapshot.t ->
+  queries:int ->
+  query_jobs:int ->
+  seed_base:int ->
+  int * int
+
+(** The same batch against the pre-snapshot read path
+    ({!Repro_service.Service.answer} parent-chase over the committed
+    parents) — the O(n)-per-query baseline. *)
+val measure_chase_qps :
+  Repro_runtime.Pool.t ->
+  Repro_service.Snapshot.t ->
+  queries:int ->
+  query_jobs:int ->
+  seed_base:int ->
+  int * int
+
+(** One baseline comparison row (cells with [n <= baseline_nmax]). *)
+type baseline = {
+  b_algo : string;
+  b_trace : string;
+  b_n : int;
+  b_snapshot_qps : int;
+  b_chase_qps : int;
+}
+
+(** [run_bench] — the big tier: one episode per builder x size x trace
+    (synchronous daemon, random-connected graphs with m = 2n, one seed
+    per cell), each followed by a timed query batch against the final
+    committed snapshot; cells carry [tier = "big"] and [qps]. Episodes
+    run sequentially on the calling domain — the query batches are
+    what fans out over [pool] ([Pool.map] nested inside a pool worker
+    would serialize them). *)
+val run_bench :
+  pool:Repro_runtime.Pool.t ->
+  ns:int list ->
+  algos:string list ->
+  traces:Repro_service.Churn.t list ->
+  seed_base:int ->
+  queries:int ->
+  query_jobs:int ->
+  packed:bool ->
+  baseline_nmax:int ->
+  max_rounds:int ->
+  retry_budget:int ->
+  max_retries:int ->
+  queries_per_round:int ->
+  stall_window:int ->
+  cycle_repeats:int ->
+  unit ->
+  cell list * baseline list
+
 val csv_header : string
 val csv_row : cell -> string
 
+(** Whether the cell's episode ended silent and legal. *)
+val recovered : cell -> bool
+
 (** Cells that did not end silent and legal. *)
 val failed : cell list -> int
+
+(** One line naming a failing cell — the full key
+    (algo/trace/sched/seed/tier) plus the watchdog verdict and how many
+    of its churn events recovered; [repro_cli serve] prints this for
+    every failing cell before exiting 1. *)
+val failure_line : cell -> string
 
 (** The SERVICE_repro.json artifact (schema:
     {!Repro_runtime.Schema.validate_service}). *)

@@ -29,32 +29,26 @@ module Make (P : Protocol.PACKED) = struct
      allocation there).
 
      Differences from the boxed [run], by design:
-     - no [?events]/[?adversary]/[?on_round]/[?on_step] hooks — tracing
-       and chaos stay on the boxed engine, which is equivalence-pinned
-       anyway;
+     - no [?events]/[?adversary]/[?on_step] hooks — tracing and chaos
+       stay on the boxed engine, which is equivalence-pinned anyway;
+       [?on_round] exists (service mode's watchdog needs round-boundary
+       observation) but re-boxes the configuration at every boundary,
+       so leave it off for allocation-free runs;
      - [max_bits] uses the PACKED contract that [size_bits] is content-
        independent, so it is a constant of [n];
      - moves are cached as packed words: [mv.(f).(v)] holds lane [f] of
        [v]'s pending move, membership in [enabled] says whether it is
        live (exactly the boxed [moves.(v) <> None] invariant). *)
 
-  let run ?(max_steps = 10_000_000) ?(max_rounds = 200_000) ?(track_legal = false)
-      ?(stop_when_legal = false) ?telemetry ?stop_when ?profile g sched rng ~init =
+  let run_bank ?(max_steps = 10_000_000) ?(max_rounds = 200_000) ?(track_legal = false)
+      ?(stop_when_legal = false) ?telemetry ?on_round ?stop_when ?profile g sched rng
+      ~bank =
     let n = Graph.n g in
     let words = P.words in
     let row = Graph.csr_row g and col = Graph.csr_col g in
-    let bank = Array.init words (fun _ -> Array.make n 0) in
-    for v = 0 to n - 1 do
-      let a = P.pack ~n init.(v) in
-      if Array.length a <> words then
-        invalid_arg "Engine_packed.run: pack returned the wrong width";
-      for f = 0 to words - 1 do
-        bank.(f).(v) <- a.(f)
-      done
-    done;
+    if Array.length bank <> words || Array.exists (fun lane -> Array.length lane <> n) bank
+    then invalid_arg "Engine_packed.run_bank: bank shape is not words x n";
     let pv = Pview.of_graph g ~bank in
-    (* Fixed register width (PACKED contract): max_bits is a constant. *)
-    let reg_bits = P.size_bits n init.(0) in
     let steps = ref 0 in
     let rounds = ref 0 in
     let first_legal = ref None in
@@ -63,7 +57,8 @@ module Make (P : Protocol.PACKED) = struct
       match stop_when with Some f -> if f () then stop := true | None -> ()
     in
     (* Re-boxing, needed only at observation points (round boundaries
-       with a Φ consumer or legality tracking, and the final result). *)
+       with a Φ consumer, an [on_round] observer or legality tracking,
+       and the final result). *)
     let tmp = Array.make words 0 in
     let unpack_node v =
       for f = 0 to words - 1 do
@@ -72,6 +67,9 @@ module Make (P : Protocol.PACKED) = struct
       P.unpack ~n tmp
     in
     let unpack_all () = Array.init n unpack_node in
+    (* Fixed register width (PACKED contract: [size_bits] is content-
+       independent): max_bits is a constant of [n]. *)
+    let reg_bits = P.size_bits n (unpack_node 0) in
     (* Packed move cache: lane words in [mv], liveness in [enabled]. *)
     let mv = Array.init words (fun _ -> Array.make n 0) in
     let enabled = Enabled_set.create n in
@@ -140,6 +138,7 @@ module Make (P : Protocol.PACKED) = struct
             ~enabled:(Enabled_set.cardinal enabled)
             ~max_bits:reg_bits ~total_bits:(n * reg_bits) ~phi
       | None -> ());
+      (match on_round with Some f -> f !rounds (unpack_all ()) | None -> ());
       (if (track_legal || stop_when_legal) && !first_legal = None then
          if P.is_legal g (unpack_all ()) then begin
            first_legal := Some !rounds;
@@ -299,4 +298,23 @@ module Make (P : Protocol.PACKED) = struct
       max_bits = reg_bits;
       first_legal_round = !first_legal;
     }
+
+  let pack_bank ~n init =
+    let words = P.words in
+    let bank = Array.init words (fun _ -> Array.make n 0) in
+    for v = 0 to n - 1 do
+      let a = P.pack ~n init.(v) in
+      if Array.length a <> words then
+        invalid_arg "Engine_packed.pack_bank: pack returned the wrong width";
+      for f = 0 to words - 1 do
+        bank.(f).(v) <- a.(f)
+      done
+    done;
+    bank
+
+  let run ?max_steps ?max_rounds ?track_legal ?stop_when_legal ?telemetry ?on_round
+      ?stop_when ?profile g sched rng ~init =
+    run_bank ?max_steps ?max_rounds ?track_legal ?stop_when_legal ?telemetry ?on_round
+      ?stop_when ?profile g sched rng
+      ~bank:(pack_bank ~n:(Graph.n g) init)
 end

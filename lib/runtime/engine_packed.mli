@@ -12,9 +12,11 @@
     measured big-n tables).
 
     The observability hooks that re-box state stay on the boxed engine:
-    there is no [?events], [?adversary], [?on_round] or [?on_step] here.
-    [?telemetry] and [?track_legal] are supported but re-box the
-    configuration at round boundaries when they need Φ or legality. *)
+    there is no [?events], [?adversary] or [?on_step] here. [?telemetry],
+    [?track_legal] and [?on_round] are supported but re-box the
+    configuration at round boundaries when they need Φ, legality or the
+    observer callback — service mode's watchdog pays that cost to keep
+    its observations byte-identical to the boxed engine's. *)
 
 module Make (P : Protocol.PACKED) : sig
   type result = {
@@ -34,25 +36,58 @@ module Make (P : Protocol.PACKED) : sig
       draw order as {!Engine.Make.adversarial}). *)
   val adversarial : Random.State.t -> Repro_graph.Graph.t -> P.state array
 
+  (** [pack_bank ~n init] — the register bank encoding [init]: [P.words]
+      int lanes of length [n], [bank.(f).(v)] = lane [f] of node [v]'s
+      packed register.
+      @raise Invalid_argument if [P.pack] returns the wrong width. *)
+  val pack_bank : n:int -> P.state array -> int array array
+
   (** [run g sched rng ~init] executes until silence or a budget is hit.
       Defaults and parameter meanings match {!Engine.Make.run}:
       [max_steps] 10_000_000, [max_rounds] 200_000; [track_legal]
       records the first round whose configuration is legal;
       [stop_when_legal] additionally stops there; [stop_when] is polled
-      after every write; [profile] counts guard evaluations, moves,
-      touches, flushes and churn (rule tags are not classified — that
-      would re-box every move). *)
+      after every write; [on_round] observes every round boundary
+      (including round 0) with the re-boxed configuration, exactly like
+      the boxed engine's hook; [profile] counts guard evaluations,
+      moves, touches, flushes and churn (rule tags are not classified —
+      that would re-box every move). *)
   val run :
     ?max_steps:int ->
     ?max_rounds:int ->
     ?track_legal:bool ->
     ?stop_when_legal:bool ->
     ?telemetry:Telemetry.t ->
+    ?on_round:(int -> P.state array -> unit) ->
     ?stop_when:(unit -> bool) ->
     ?profile:Profile.t ->
     Repro_graph.Graph.t ->
     Scheduler.t ->
     Random.State.t ->
     init:P.state array ->
+    result
+
+  (** [run_bank g sched rng ~bank] — {!run} on a caller-owned register
+      bank (as built by {!pack_bank}), {e mutated in place}: the final
+      registers are left in [bank], and [result.states] re-boxes them
+      for observers. This is service mode's entry point — registers
+      survive between recovery runs in the bank, and churn migration
+      copies surviving lanes verbatim instead of round-tripping through
+      boxed states.
+      @raise Invalid_argument if [bank] is not [P.words] lanes of
+      length [n]. *)
+  val run_bank :
+    ?max_steps:int ->
+    ?max_rounds:int ->
+    ?track_legal:bool ->
+    ?stop_when_legal:bool ->
+    ?telemetry:Telemetry.t ->
+    ?on_round:(int -> P.state array -> unit) ->
+    ?stop_when:(unit -> bool) ->
+    ?profile:Profile.t ->
+    Repro_graph.Graph.t ->
+    Scheduler.t ->
+    Random.State.t ->
+    bank:int array array ->
     result
 end

@@ -218,6 +218,18 @@ let validate_service_cell c =
         require_int c "max_bits";
       ]
   in
+  (* Serve cells carry the bench "tier" ("std" churn matrix / "big"
+     serve bench) and, on the big tier, the measured snapshot-read
+     throughput — both optional so pre-tier artifacts still validate. *)
+  let* tier = opt_str_field c "tier" in
+  let* () =
+    match tier with
+    | None -> Ok ()
+    | Some t ->
+        if List.mem t tiers then Ok ()
+        else Error (Printf.sprintf "unknown tier %S" t)
+  in
+  let* (_ : int option) = opt_int_field c "qps" in
   let* v = str_field c "verdict" in
   let* () =
     if List.mem v verdicts then Ok ()

@@ -8,6 +8,13 @@ module type TREE_PROTOCOL = sig
   val loop_free : bool
 end
 
+module type PACKED_TREE_PROTOCOL = sig
+  include Protocol.PACKED
+
+  val parent_of : state -> int
+  val loop_free : bool
+end
+
 type event_outcome = {
   op : string;
   apply_round : int;
@@ -37,8 +44,10 @@ type report = {
   max_bits : int;
 }
 
-(* A read answered from a parents snapshot: parent link, root by
-   bounded parent-chase (fuel n; -1 = the chase cycled), tree degree. *)
+(* The pre-snapshot read path, kept as the benchmark baseline: parent
+   link, root by bounded parent-chase (fuel n; -1 = the chase cycled),
+   tree degree by a full scan. O(n) per query where the committed
+   snapshot answers in O(1). *)
 let answer parents v =
   let n = Array.length parents in
   let parent = parents.(v) in
@@ -55,27 +64,82 @@ let answer parents v =
   Array.iteri (fun u p -> if u <> v && p = v then incr degree) parents;
   (parent, root, !degree)
 
-module Make (P : TREE_PROTOCOL) = struct
-  module E = Engine.Make (P)
+(* ------------------------------------------------------------------ *)
+(* The episode driver, shared between the boxed and packed engines.
+   Everything engine-specific — how registers are stored, booted,
+   migrated across churn, projected to parents, and run for one
+   watchdog-guarded segment — is behind [BACKEND]; the ladder, the
+   watchdog, the committed-snapshot read serving and the staleness
+   closure are written once. *)
+
+(* Normalized per-segment result (the engines' result records differ
+   only in the configuration field, which stays backend-private). *)
+type seg = {
+  seg_steps : int;
+  seg_rounds : int;
+  seg_silent : bool;
+  seg_legal : bool;
+  seg_bits : int;
+}
+
+module type BACKEND = sig
+  module P : TREE_PROTOCOL
+
+  type regs
+
+  (** Adversarial boot: one [P.random_state] draw per node, in node
+      order (the restart rung and the episode's base phase). *)
+  val boot : Random.State.t -> Graph.t -> regs
+
+  (** Carry the registers across a churn migration against the
+      {e edited} graph; the joiner draws one [P.random_state]. *)
+  val migrate : regs -> Graph.t -> Topology.migration -> Random.State.t -> regs
+
+  (** The parent projection the commits are built from. *)
+  val parents : regs -> int array
+
+  (** One engine segment. A raising run must leave [regs] equal to the
+      pre-segment registers (crash containment retries from them); the
+      events plumbing is boxed-only and ignored elsewhere. *)
+  val run :
+    max_steps:int ->
+    max_rounds:int ->
+    on_round:(int -> P.state array -> unit) ->
+    on_step:(int -> P.state array -> unit) ->
+    stop_when:(unit -> bool) ->
+    events:Events.t option ->
+    init_causes:(int -> int list) option ->
+    round_offset:int ->
+    step_offset:int ->
+    Graph.t ->
+    Scheduler.t ->
+    Random.State.t ->
+    regs ->
+    regs * seg
+end
+
+module Driver (B : BACKEND) = struct
+  module P = B.P
 
   let run ?(max_steps = 2_000_000) ?(max_rounds = 20_000) ?(stall_window = 64)
       ?(cycle_repeats = 3) ?(retry_budget = 2_000) ?(max_retries = 2)
-      ?(queries_per_round = 2) ?(watch_phi = false) ?events g0 ~sched ~fallback rng
-      (trace : Churn.t) =
+      ?(queries_per_round = 2) ?(watch_phi = false) ?snapshot ?events g0 ~sched
+      ~fallback rng (trace : Churn.t) =
     (* Canned generators expand against the starting topology, before
        any engine run, so the op list is pinned by the seed alone. *)
     let ops = Churn.expand rng g0 trace.Churn.spec in
     let wd = Watchdog.create ~stall_window ~cycle_repeats () in
     let stop_when () = Watchdog.tripped wd <> None in
     let g = ref g0 in
-    let states = ref (E.adversarial rng g0) in
+    let regs = ref (B.boot rng g0) in
     let round_off = ref 0 in
     let steps_total = ref 0 in
     let max_bits = ref 0 in
     let last_silent = ref false in
     let last_ok = ref false in
-    (* Committed labels: the parent snapshot reads are served from. *)
-    let committed = ref [||] in
+    (* Committed labels: the double-buffered snapshot reads are served
+       from. Until the first commit no reads are served ([ready]). *)
+    let snap = match snapshot with Some s -> s | None -> Snapshot.create () in
     let served = ref [] in
     let serving = ref false in
     let seg_crashes = ref 0 in
@@ -85,11 +149,14 @@ module Make (P : TREE_PROTOCOL) = struct
       Watchdog.observe_round wd ~round:r ~hash:(Watchdog.config_hash sts)
         ~snap:(fun () -> Marshal.to_string sts [])
         ~phi:(if watch_phi then P.potential !g sts else None);
-      if !serving && Array.length !committed > 0 then
+      if !serving && Snapshot.ready snap then begin
+        let n = Snapshot.n snap in
         for q = 0 to queries_per_round - 1 do
-          let v = ((r * 7) + q) mod Array.length !committed in
-          served := (v, answer !committed v) :: !served
+          let v = ((r * 7) + q) mod n in
+          let u = ((r * 13) + (5 * q) + 1) mod n in
+          served := (v, u, Snapshot.answer snap ~v ~u) :: !served
         done
+      end
     in
     (* Loop monitor: after node [v]'s write, chase its new parent chain;
        returning to [v] means the move closed a cycle. A chain that
@@ -126,18 +193,18 @@ module Make (P : TREE_PROTOCOL) = struct
         let run_base = !round_off in
         let on_round r sts = observe (run_base + r) sts in
         match
-          E.run ~max_steps:steps_left ~max_rounds:budget ~on_round ~on_step ~stop_when
-            ?events ?init_causes ~round_offset:run_base ~step_offset:!steps_total !g
-            daemon rng ~init:!states
+          B.run ~max_steps:steps_left ~max_rounds:budget ~on_round ~on_step
+            ~stop_when ~events ~init_causes ~round_offset:run_base
+            ~step_offset:!steps_total !g daemon rng !regs
         with
-        | r ->
-            states := r.E.states;
-            round_off := run_base + r.E.rounds;
-            steps_total := !steps_total + r.E.steps;
-            max_bits := max !max_bits r.E.max_bits;
-            last_silent := r.E.silent;
-            last_ok := r.E.silent && r.E.legal;
-            Some r
+        | regs', s ->
+            regs := regs';
+            round_off := run_base + s.seg_rounds;
+            steps_total := !steps_total + s.seg_steps;
+            max_bits := max !max_bits s.seg_bits;
+            last_silent := s.seg_silent;
+            last_ok := s.seg_silent && s.seg_legal;
+            Some s
         | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
         | exception _ ->
             incr seg_crashes;
@@ -146,7 +213,7 @@ module Make (P : TREE_PROTOCOL) = struct
             None
       end
     in
-    let ok = function Some r -> r.E.silent && r.E.legal | None -> false in
+    let ok = function Some s -> s.seg_silent && s.seg_legal | None -> false in
     (* Phase 1: stabilize from adversarial, full budget, no ladder —
        the same contract as a chaos episode's base phase. *)
     let base = attempt ~daemon:sched ~budget:max_rounds () in
@@ -168,7 +235,7 @@ module Make (P : TREE_PROTOCOL) = struct
     in
     if not (ok base) then finish []
     else begin
-      committed := Array.map P.parent_of !states;
+      Snapshot.commit snap (B.parents !regs);
       let first_budget =
         match trace.Churn.timing with
         | Churn.At_silence -> retry_budget
@@ -188,8 +255,7 @@ module Make (P : TREE_PROTOCOL) = struct
             let g', mig = Topology.apply !g op in
             let affected = Topology.affected !g op mig in
             g := g';
-            states :=
-              Topology.migrate !states mig ~fresh:(fun id -> P.random_state rng g' id);
+            regs := B.migrate !regs g' mig rng;
             (* The edit happens outside the engine, so emit its churn
                events here and seed the recovery run's provenance: every
                node a changed view enables was woken by the edit. *)
@@ -214,7 +280,8 @@ module Make (P : TREE_PROTOCOL) = struct
             monitor_armed := P.loop_free;
             serving := true;
             let recovered =
-              if ok (attempt ~daemon:sched ~budget:first_budget ?init_causes ()) then true
+              if ok (attempt ~daemon:sched ~budget:first_budget ?init_causes ()) then
+                true
               else begin
                 let rec retry k =
                   if k >= max_retries then false
@@ -230,7 +297,7 @@ module Make (P : TREE_PROTOCOL) = struct
                   if ok (attempt ~daemon:fallback ~budget:retry_budget ()) then true
                   else begin
                     incr restarts;
-                    states := E.adversarial rng !g;
+                    regs := B.boot rng !g;
                     ok (attempt ~daemon:sched ~budget:retry_budget ())
                   end
                 end
@@ -238,18 +305,22 @@ module Make (P : TREE_PROTOCOL) = struct
             in
             monitor_armed := false;
             serving := false;
-            (* Close the staleness window: re-evaluate every served
-               answer against the configuration the event settled on
-               (legal when recovered, the degraded truth otherwise). *)
-            let truth = Array.map P.parent_of !states in
+            (* Close the staleness window: commit the configuration the
+               event settled on (legal when recovered, the degraded
+               truth otherwise), then re-evaluate every served answer
+               against it. Answers that differ, or that name a node
+               that left, count as stale. *)
+            let truth = B.parents !regs in
+            Snapshot.commit snap truth;
+            let n' = Array.length truth in
             let stale =
               List.fold_left
-                (fun acc (v, ans) ->
-                  if v >= Array.length truth || answer truth v <> ans then acc + 1
+                (fun acc (v, u, ans) ->
+                  if v >= n' || u >= n' || Snapshot.answer snap ~v ~u <> ans then
+                    acc + 1
                   else acc)
                 0 !served
             in
-            committed := truth;
             {
               op = Churn.op_name op;
               apply_round;
@@ -269,4 +340,114 @@ module Make (P : TREE_PROTOCOL) = struct
       in
       finish outcomes
     end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Boxed backend: the full-featured engine — events, causal provenance,
+   the per-write loop monitor. *)
+
+module Make (P : TREE_PROTOCOL) = struct
+  module E = Engine.Make (P)
+
+  module D = Driver (struct
+    module P = P
+
+    type regs = P.state array
+
+    let boot rng g = E.adversarial rng g
+
+    let migrate regs g' mig rng =
+      Topology.migrate regs mig ~fresh:(fun id -> P.random_state rng g' id)
+
+    let parents regs = Array.map P.parent_of regs
+
+    let run ~max_steps ~max_rounds ~on_round ~on_step ~stop_when ~events
+        ~init_causes ~round_offset ~step_offset g sched rng regs =
+      let r =
+        E.run ~max_steps ~max_rounds ~on_round ~on_step ~stop_when ?events
+          ?init_causes ~round_offset ~step_offset g sched rng ~init:regs
+      in
+      ( r.E.states,
+        {
+          seg_steps = r.E.steps;
+          seg_rounds = r.E.rounds;
+          seg_silent = r.E.silent;
+          seg_legal = r.E.legal;
+          seg_bits = r.E.max_bits;
+        } )
+  end)
+
+  let run = D.run
+end
+
+(* ------------------------------------------------------------------ *)
+(* Packed backend: registers live in the struct-of-arrays bank for the
+   whole episode — engine segments mutate it in place, churn migration
+   copies surviving lanes verbatim ([Topology.migrate_bank]), and the
+   watchdog observes re-boxed configurations at round boundaries, so an
+   episode is draw-for-draw and observation-for-observation identical
+   to the boxed [Make] (pinned by test_service's equivalence suite). *)
+
+module Make_packed (P : PACKED_TREE_PROTOCOL) = struct
+  module E = Engine_packed.Make (P)
+
+  (* The loop monitor needs the boxed engine's per-write hook; no
+     packed builder claims loop-freedom (MST/MDST are variable-width
+     and stay boxed), so reject the combination outright rather than
+     silently dropping the monitor. *)
+  let () =
+    if P.loop_free then
+      invalid_arg "Service.Make_packed: loop-free builders need the boxed engine"
+
+  module D = Driver (struct
+    module P = P
+
+    type regs = int array array
+
+    let boot rng g = E.pack_bank ~n:(Graph.n g) (E.adversarial rng g)
+
+    let migrate bank g' mig rng =
+      Topology.migrate_bank bank mig
+        ~fresh:(fun id -> P.pack ~n:(Graph.n g') (P.random_state rng g' id))
+
+    let parents bank =
+      let n = Array.length bank.(0) in
+      let tmp = Array.make P.words 0 in
+      Array.init n (fun v ->
+          for f = 0 to P.words - 1 do
+            tmp.(f) <- bank.(f).(v)
+          done;
+          P.parent_of (P.unpack ~n tmp))
+
+    let run ~max_steps ~max_rounds ~on_round ~on_step:_ ~stop_when ~events:_
+        ~init_causes:_ ~round_offset:_ ~step_offset:_ g sched rng bank =
+      (* Crash-containment parity: the boxed engine never mutates its
+         [init], so a contained crash retries from the pre-segment
+         registers. [run_bank] mutates in place — restore on raise.
+         The offsets only shift emitted event fields and there is no
+         sink here, so dropping them changes nothing observable. *)
+      let saved = Array.map Array.copy bank in
+      match
+        E.run_bank ~max_steps ~max_rounds ~on_round ~stop_when g sched rng ~bank
+      with
+      | r ->
+          ( bank,
+            {
+              seg_steps = r.E.steps;
+              seg_rounds = r.E.rounds;
+              seg_silent = r.E.silent;
+              seg_legal = r.E.legal;
+              seg_bits = r.E.max_bits;
+            } )
+      | exception e ->
+          Array.iteri (fun f lane -> Array.blit lane 0 bank.(f) 0 (Array.length lane)) saved;
+          raise e
+  end)
+
+  let run ?max_steps ?max_rounds ?stall_window ?cycle_repeats ?retry_budget
+      ?max_retries ?queries_per_round ?watch_phi ?snapshot g0 ~sched ~fallback rng
+      trace =
+    D.run ?max_steps ?max_rounds ?stall_window ?cycle_repeats ?retry_budget
+      ?max_retries ?queries_per_round ?watch_phi ?snapshot g0 ~sched ~fallback rng
+      trace
 end

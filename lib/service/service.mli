@@ -6,8 +6,8 @@
     nodes keep their registers verbatim, joined nodes boot from
     [P.random_state] (adversarial boot — stabilization owes them
     nothing), and the builder re-stabilizes while reads are served from
-    the {e committed} labels (the parent snapshot taken at the last
-    silent legal configuration).
+    the {e committed} label snapshot ({!Snapshot} — the flattened tree
+    taken at the last silent legal configuration).
 
     {b Degradation ladder.} Every recovery runs under a {!Watchdog}.
     The first attempt gets the timing policy's budget ([every:R] = an
@@ -23,23 +23,32 @@
     degraded-but-alive regime, not an abort.
 
     {b Reads.} At every round boundary of a recovery,
-    [queries_per_round] deterministic lookups (parent, root by bounded
-    parent-chase, tree degree) are answered from the committed
-    snapshot. When the event closes, each answer is re-evaluated
-    against the new configuration; answers that differ (or name a node
-    that left) count as {e stale} — the staleness window made
-    concrete.
+    [queries_per_round] deterministic {e pair} queries [(v, u)] are
+    answered from the committed snapshot: parent, root, tree degree,
+    ancestry, nearest common ancestor, and tree route length (see
+    {!Snapshot.answer}). When the event closes, the new configuration
+    is committed and each answer is re-evaluated against it; answers
+    that differ (or name a node that left) count as {e stale} — the
+    staleness window made concrete.
+
+    {b Engines.} {!Make} drives the boxed {!Repro_runtime.Engine}
+    (events, provenance, the loop monitor); {!Make_packed} drives the
+    struct-of-arrays {!Repro_runtime.Engine_packed} for fixed-width
+    builders — registers live in the int bank across the whole episode
+    and churn migration copies surviving lanes verbatim. Episodes are
+    draw-for-draw identical between the two on shared seeds (pinned by
+    the service equivalence suite).
 
     {b Loop-freedom monitor.} For builders declaring [loop_free], every
     register write during churn recovery is checked: if the writer's
     new parent chain leads back to itself, the move closed a cycle — a
     violation of the paper's malleable-PLS loop-freedom guarantee. It
-    is recorded, never fatal. *)
+    is recorded, never fatal. (Boxed engine only; {!Make_packed}
+    rejects loop-free builders at functor application.) *)
 
 (** What the service layer needs on top of {!Repro_runtime.Protocol.S}:
     a parent projection for serving reads, and whether the builder
-    claims loop-freedom (MST/MDST's malleable PLS layer does; BFS/SPT's
-    distance layers may transiently cycle by design). *)
+    claims loop-freedom (arms the loop monitor). *)
 module type TREE_PROTOCOL = sig
   include Repro_runtime.Protocol.S
 
@@ -52,13 +61,21 @@ module type TREE_PROTOCOL = sig
   val loop_free : bool
 end
 
+(** The same, over a fixed-width packed protocol (for {!Make_packed}). *)
+module type PACKED_TREE_PROTOCOL = sig
+  include Repro_runtime.Protocol.PACKED
+
+  val parent_of : state -> int
+  val loop_free : bool
+end
+
 (** Per-churn-event accounting. *)
 type event_outcome = {
   op : string;  (** grammar spelling of the edit *)
   apply_round : int;  (** cumulative round at which the edit landed *)
   gap : int option;  (** rounds from the edit to silent+legal; [None] = never *)
   steps : int;  (** register writes spent on this event's recovery *)
-  queries : int;  (** reads served from committed labels mid-recovery *)
+  queries : int;  (** pair reads served from the committed snapshot *)
   stale : int;  (** of those, answers the recovery then contradicted *)
   violations : int;  (** loop-monitor violations (loop-free builders) *)
   retries : int;
@@ -82,6 +99,12 @@ type report = {
   max_bits : int;
 }
 
+(** [answer parents v] — the pre-snapshot read path, kept as the
+    benchmark baseline: [(parent, root, degree)] with root by bounded
+    parent-chase (fuel n; [-1] = the chase cycled) and degree by a full
+    scan — O(n) per query where {!Snapshot} answers in O(1). *)
+val answer : int array -> int -> int * int * int
+
 module Make (P : TREE_PROTOCOL) : sig
   module E : module type of Repro_runtime.Engine.Make (P)
 
@@ -94,6 +117,11 @@ module Make (P : TREE_PROTOCOL) : sig
       watchdog's stall detector (leave off for expensive potentials).
       [max_rounds] / [max_steps] are global episode caps; a ladder
       rung never runs past them.
+
+      [snapshot] supplies the committed-label store to serve reads
+      from (so a caller can keep querying the final committed tree
+      after the episode — the serve benchmark does); by default a
+      private one is allocated.
 
       An [events] sink receives the full causal trace on one
       id-monotone timeline: base stabilization, one [Churn] event per
@@ -114,7 +142,42 @@ module Make (P : TREE_PROTOCOL) : sig
     ?max_retries:int ->
     ?queries_per_round:int ->
     ?watch_phi:bool ->
+    ?snapshot:Snapshot.t ->
     ?events:Repro_runtime.Events.t ->
+    Repro_graph.Graph.t ->
+    sched:Repro_runtime.Scheduler.t ->
+    fallback:Repro_runtime.Scheduler.t ->
+    Random.State.t ->
+    Churn.t ->
+    report
+end
+
+(** {!Make} on the struct-of-arrays engine, for fixed-width builders:
+    registers stay in the packed int bank for the whole episode —
+    engine segments mutate it in place, churn migration copies
+    surviving lanes verbatim ({!Topology.migrate_bank}) and boots
+    joiners adversarially in-bank — so big-n episodes never round-trip
+    the configuration through boxed states. Same episode semantics and
+    RNG draw order as {!Make} (the watchdog observes re-boxed
+    configurations at the same round boundaries); there is no [?events]
+    plumbing — causal tracing stays on the boxed engine.
+
+    Applying the functor to a builder with [loop_free = true] raises
+    [Invalid_argument]: the loop monitor needs the boxed engine's
+    per-write hook. *)
+module Make_packed (P : PACKED_TREE_PROTOCOL) : sig
+  module E : module type of Repro_runtime.Engine_packed.Make (P)
+
+  val run :
+    ?max_steps:int ->
+    ?max_rounds:int ->
+    ?stall_window:int ->
+    ?cycle_repeats:int ->
+    ?retry_budget:int ->
+    ?max_retries:int ->
+    ?queries_per_round:int ->
+    ?watch_phi:bool ->
+    ?snapshot:Snapshot.t ->
     Repro_graph.Graph.t ->
     sched:Repro_runtime.Scheduler.t ->
     fallback:Repro_runtime.Scheduler.t ->

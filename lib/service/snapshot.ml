@@ -1,0 +1,245 @@
+module Interval_labels = Repro_labels.Interval_labels
+
+(* One committed buffer: the flattened tree, every facet a preallocated
+   int array indexed by node id. [cap] is the array capacity; only the
+   first [n] slots are meaningful. The scratch arrays at the bottom are
+   reused by every [rebuild] so a commit allocates nothing once the
+   buffers have grown to the episode's peak node count. *)
+type buf = {
+  mutable n : int;
+  mutable parent : int array;  (* committed links, verbatim *)
+  mutable root : int array;  (* tree root reached from v; -1 = none *)
+  mutable depth : int array;  (* hops to that root; -1 when root = -1 *)
+  mutable pre : int array;  (* DFS interval (Interval_labels facet) *)
+  mutable post : int array;
+  mutable deg : int array;  (* tree degree: children + valid parent *)
+  mutable head : int array;  (* heavy-path head (Nca_labels facet) *)
+  (* rebuild scratch *)
+  mutable size : int array;
+  mutable heavy : int array;
+  mutable child_head : int array;
+  mutable child_next : int array;
+  mutable stack : int array;
+  mutable cursor : int array;
+  mutable order : int array;
+}
+
+let alloc cap =
+  {
+    n = 0;
+    parent = Array.make cap (-1);
+    root = Array.make cap (-1);
+    depth = Array.make cap (-1);
+    pre = Array.make cap (-1);
+    post = Array.make cap (-1);
+    deg = Array.make cap 0;
+    head = Array.make cap (-1);
+    size = Array.make cap 0;
+    heavy = Array.make cap (-1);
+    child_head = Array.make cap (-1);
+    child_next = Array.make cap (-1);
+    stack = Array.make cap 0;
+    cursor = Array.make cap 0;
+    order = Array.make cap 0;
+  }
+
+let reserve b n =
+  if n > Array.length b.parent then begin
+    let cap = ref (max 16 (Array.length b.parent)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let fresh = alloc !cap in
+    fresh.n <- b.n;
+    b.parent <- fresh.parent;
+    b.root <- fresh.root;
+    b.depth <- fresh.depth;
+    b.pre <- fresh.pre;
+    b.post <- fresh.post;
+    b.deg <- fresh.deg;
+    b.head <- fresh.head;
+    b.size <- fresh.size;
+    b.heavy <- fresh.heavy;
+    b.child_head <- fresh.child_head;
+    b.child_next <- fresh.child_next;
+    b.stack <- fresh.stack;
+    b.cursor <- fresh.cursor;
+    b.order <- fresh.order
+  end
+
+(* Flatten an arbitrary parent array into [b]. A link is a tree edge
+   when it names a distinct in-range node; anything else ([-1], out of
+   range, self) marks a root candidate. Nodes whose parent chain never
+   reaches a root — members of parent cycles and their hangers-on — get
+   [root = depth = pre = post = head = -1], which is exactly the
+   bounded-parent-chase semantics the service's reads had before the
+   snapshot existed (a chase that cycles answers root = -1). *)
+let rebuild b parents =
+  let n = Array.length parents in
+  reserve b n;
+  b.n <- n;
+  Array.blit parents 0 b.parent 0 n;
+  for v = 0 to n - 1 do
+    b.root.(v) <- -1;
+    b.depth.(v) <- -1;
+    b.pre.(v) <- -1;
+    b.post.(v) <- -1;
+    b.head.(v) <- -1;
+    b.deg.(v) <- 0;
+    b.size.(v) <- 1;
+    b.heavy.(v) <- -1;
+    b.child_head.(v) <- -1
+  done;
+  let link v =
+    let p = parents.(v) in
+    p >= 0 && p < n && p <> v
+  in
+  (* Children lists, built backwards so traversal is increasing order
+     (the convention of [Tree.children] and the labels provers). *)
+  for v = n - 1 downto 0 do
+    if link v then begin
+      let p = parents.(v) in
+      b.deg.(v) <- b.deg.(v) + 1;
+      b.deg.(p) <- b.deg.(p) + 1;
+      b.child_next.(v) <- b.child_head.(p);
+      b.child_head.(p) <- v
+    end
+  done;
+  (* Iterative DFS from every root candidate: pre/post counters span the
+     whole forest (ancestry additionally checks root equality), depth and
+   root tags propagate down, sizes and heavy children accumulate on the
+   way back up. *)
+  let pre_clock = ref 0 and post_clock = ref 0 and sp = ref 0 in
+  let push v =
+    b.stack.(!sp) <- v;
+    b.cursor.(!sp) <- b.child_head.(v);
+    incr sp
+  in
+  for r = 0 to n - 1 do
+    if not (link r) then begin
+      b.root.(r) <- r;
+      b.depth.(r) <- 0;
+      b.pre.(r) <- !pre_clock;
+      b.order.(!pre_clock) <- r;
+      incr pre_clock;
+      push r;
+      while !sp > 0 do
+        let v = b.stack.(!sp - 1) in
+        let c = b.cursor.(!sp - 1) in
+        if c < 0 then begin
+          (* all children done: close the interval, settle heavy child *)
+          decr sp;
+          b.post.(v) <- !post_clock;
+          incr post_clock;
+          let ch = ref b.child_head.(v) and best = ref (-1) in
+          while !ch >= 0 do
+            b.size.(v) <- b.size.(v) + b.size.(!ch);
+            if !best < 0 || b.size.(!ch) > b.size.(!best) then best := !ch;
+            ch := b.child_next.(!ch)
+          done;
+          b.heavy.(v) <- !best
+        end
+        else begin
+          b.cursor.(!sp - 1) <- b.child_next.(c);
+          b.root.(c) <- r;
+          b.depth.(c) <- b.depth.(v) + 1;
+          b.pre.(c) <- !pre_clock;
+          b.order.(!pre_clock) <- c;
+          incr pre_clock;
+          push c
+        end
+      done
+    end
+  done;
+  (* Heavy-path heads in one pre-order sweep: parents settle before
+     children, mirroring [Heavy_path.compute]. *)
+  for i = 0 to !pre_clock - 1 do
+    let v = b.order.(i) in
+    if not (link v) then b.head.(v) <- v
+    else begin
+      let p = b.parent.(v) in
+      b.head.(v) <- (if b.heavy.(p) = v then b.head.(p) else v)
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The double-buffered store: reads always hit [front]; [commit]
+   rebuilds [back] from the given parents and swaps, so a reader racing
+   a commit keeps seeing the previous committed snapshot until the
+   whole rebuild is done. *)
+
+type t = { mutable front : buf; mutable back : buf; mutable ready : bool }
+
+let create ?(cap = 16) () =
+  let cap = max 1 cap in
+  { front = alloc cap; back = alloc cap; ready = false }
+
+let commit t parents =
+  rebuild t.back parents;
+  let f = t.front in
+  t.front <- t.back;
+  t.back <- f;
+  t.ready <- true
+
+let ready t = t.ready
+let n t = t.front.n
+
+(* O(1) facet reads. *)
+let parent t v = t.front.parent.(v)
+let root t v = t.front.root.(v)
+let degree t v = t.front.deg.(v)
+let depth t v = t.front.depth.(v)
+
+(* Ancestry through the interval labels: two integer compares after the
+   same-tree guard, the [Interval_labels] test verbatim. *)
+let label b v = { Interval_labels.pre = b.pre.(v); post = b.post.(v) }
+
+let is_ancestor t a v =
+  let b = t.front in
+  b.root.(a) >= 0
+  && b.root.(a) = b.root.(v)
+  && Interval_labels.is_ancestor (label b a) (label b v)
+
+(* NCA by heavy-path head climbing, the flat form of [Nca_labels.nca]:
+   while the two walks sit on different heavy paths, the one whose head
+   is deeper retreats above its head; at most one light edge per
+   iteration on each side, so O(log n) iterations on a committed tree.
+   [-1] when the two nodes live in different trees (or either dangles
+   off a parent cycle). *)
+let nca t u v =
+  let b = t.front in
+  if b.root.(u) < 0 || b.root.(u) <> b.root.(v) then -1
+  else begin
+    let u = ref u and v = ref v in
+    while b.head.(!u) <> b.head.(!v) do
+      if b.depth.(b.head.(!u)) >= b.depth.(b.head.(!v)) then u := b.parent.(b.head.(!u))
+      else v := b.parent.(b.head.(!v))
+    done;
+    if b.depth.(!u) <= b.depth.(!v) then !u else !v
+  end
+
+let route_length t u v =
+  let b = t.front in
+  let w = nca t u v in
+  if w < 0 then -1 else b.depth.(u) + b.depth.(v) - (2 * b.depth.(w))
+
+(* ------------------------------------------------------------------ *)
+
+type answer = {
+  a_parent : int;
+  a_root : int;
+  a_degree : int;
+  a_ancestor : bool;
+  a_nca : int;
+  a_route : int;
+}
+
+let answer t ~v ~u =
+  {
+    a_parent = parent t v;
+    a_root = root t v;
+    a_degree = degree t v;
+    a_ancestor = is_ancestor t u v;
+    a_nca = nca t u v;
+    a_route = route_length t u v;
+  }

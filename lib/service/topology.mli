@@ -44,6 +44,17 @@ val apply : Repro_graph.Graph.t -> Churn.op -> Repro_graph.Graph.t * migration
     is always a fresh array sized to the edited node count. *)
 val migrate : 'state array -> migration -> fresh:(int -> 'state) -> 'state array
 
+(** [migrate_bank bank mig ~fresh] — {!migrate} for a packed register
+    bank ([words] int lanes of length n, see
+    {!Repro_runtime.Engine_packed}): survivors' lane words are copied
+    verbatim, [fresh id] supplies the packed register of a grown node
+    (the service driver packs one adversarial draw), and a leave moves
+    the swap-renamed node's words into the hole, lane by lane. The
+    result is a fresh bank sized to the edited node count.
+    @raise Invalid_argument if [fresh] returns the wrong width. *)
+val migrate_bank :
+  int array array -> migration -> fresh:(int -> int array) -> int array array
+
 (** [affected g op mig] — the nodes, named in the {e edited} graph's
     id space, whose local views the edit changed: the endpoints of an
     edge edit, the fresh node and its anchors for a join, the old

@@ -1,0 +1,348 @@
+(* Big-n query serving (ISSUE 10): the committed label snapshot must
+   answer every pair query exactly like naive tree walks — on stabilized
+   trees and on degraded (arbitrary, possibly cyclic) parent arrays
+   alike — service episodes must be report-identical between the boxed
+   and the packed struct-of-arrays engines on shared seeds, Make_packed
+   must reject loop-free builders (the loop monitor needs the boxed
+   engine), and the mdst silent-but-illegal base stabilization from E13
+   is minimized and pinned as a known failure. *)
+
+open Repro_graph
+open Repro_runtime
+open Repro_core
+open Repro_baselines
+open Repro_service
+
+let prop ?(count = 20) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Naive reference reads over an arbitrary parent array: fuel-bounded
+   chases, list-intersection NCA — O(n) per query, obviously correct,
+   and total on cycles (the degraded-commit regime). *)
+
+let valid p v =
+  let n = Array.length p in
+  let q = p.(v) in
+  q >= 0 && q < n && q <> v
+
+let naive_depth p v =
+  let n = Array.length p in
+  let rec go u fuel acc =
+    if fuel = 0 then -1 else if valid p u then go p.(u) (fuel - 1) (acc + 1) else acc
+  in
+  go v n 0
+
+(* The chain [v; parent v; ...; root], or [] when the chase cycles. *)
+let naive_chain p v =
+  let n = Array.length p in
+  let rec go u fuel acc =
+    if fuel = 0 then []
+    else if valid p u then go p.(u) (fuel - 1) (u :: acc)
+    else List.rev (u :: acc)
+  in
+  go v n []
+
+let naive_ancestor p a v = List.mem a (naive_chain p v)
+
+(* Deepest common node of the two chains: walking up from [v], the
+   first node that also sits on [u]'s chain. Chains from different
+   trees (or off cycles) never intersect. *)
+let naive_nca p u v =
+  let cu = naive_chain p u in
+  match List.find_opt (fun w -> List.mem w cu) (naive_chain p v) with
+  | Some w -> w
+  | None -> -1
+
+let naive_answer p ~v ~u =
+  let a_parent, a_root, a_degree = Service.answer p v in
+  let a_nca = naive_nca p u v in
+  let a_route =
+    if a_nca < 0 then -1
+    else naive_depth p u + naive_depth p v - (2 * naive_depth p a_nca)
+  in
+  { Snapshot.a_parent; a_root; a_degree; a_ancestor = naive_ancestor p u v; a_nca; a_route }
+
+let check_all_pairs ?(what = "") p =
+  let n = Array.length p in
+  let snap = Snapshot.create () in
+  Snapshot.commit snap p;
+  if Snapshot.n snap <> n then
+    QCheck2.Test.fail_reportf "%ssnapshot n %d <> %d" what (Snapshot.n snap) n;
+  for v = 0 to n - 1 do
+    if Snapshot.depth snap v <> naive_depth p v then
+      QCheck2.Test.fail_reportf "%sdepth(%d): %d <> naive %d" what v
+        (Snapshot.depth snap v) (naive_depth p v);
+    for u = 0 to n - 1 do
+      let got = Snapshot.answer snap ~v ~u and want = naive_answer p ~v ~u in
+      if got <> want then
+        QCheck2.Test.fail_reportf
+          "%spair (v=%d, u=%d): snapshot (p=%d r=%d d=%d anc=%b nca=%d route=%d) <> \
+           naive (p=%d r=%d d=%d anc=%b nca=%d route=%d)"
+          what v u got.Snapshot.a_parent got.Snapshot.a_root got.Snapshot.a_degree
+          got.Snapshot.a_ancestor got.Snapshot.a_nca got.Snapshot.a_route
+          want.Snapshot.a_parent want.Snapshot.a_root want.Snapshot.a_degree
+          want.Snapshot.a_ancestor want.Snapshot.a_nca want.Snapshot.a_route
+    done
+  done;
+  true
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot vs naive walks on stabilized trees: run each fixed-width
+   builder to silence, commit its parent projection, compare every
+   pair. *)
+
+let gen_graph lo hi =
+  QCheck2.Gen.(
+    let* n = int_range lo hi in
+    let* extra = int_range 0 n in
+    let* sd = int_bound 1_000_000 in
+    return (sd, Generators.random_connected (Random.State.make [| sd |]) ~n ~m:(n - 1 + extra)))
+
+let stabilized_parents (type s) (module P : Service.TREE_PROTOCOL with type state = s)
+    (sd, g) =
+  let module En = Engine.Make (P) in
+  let rng = Random.State.make [| sd; 3 |] in
+  let init = En.adversarial rng g in
+  let r = En.run ~track_legal:true g Scheduler.Synchronous rng ~init in
+  if not r.En.silent then QCheck2.Test.fail_report "builder did not stabilize";
+  Array.map (fun s -> P.parent_of s) r.En.states
+
+(* ------------------------------------------------------------------ *)
+(* The service adapters: fixed-width PACKED protocols with a parent
+   projection — one module drives both Service.Make (PACKED includes S)
+   and Service.Make_packed. *)
+
+module Bfs_tree = struct
+  include Bfs_builder.Packed
+
+  let parent_of (s : St_layer.t) = s.St_layer.parent
+  let loop_free = false
+end
+
+module Spt_tree = struct
+  include Spt_builder.Packed
+
+  let parent_of (s : Spt_builder.state) = s.Spt_builder.parent
+  let loop_free = false
+end
+
+module Adhoc_tree = struct
+  include Adhoc_bfs.Packed
+
+  let parent_of (s : Adhoc_bfs.state) = s.Adhoc_bfs.parent
+  let loop_free = false
+end
+
+let snapshot_props =
+  [
+    prop ~count:25 "snapshot = naive walks (stabilized bfs trees)" (gen_graph 2 20)
+      (fun sg -> check_all_pairs (stabilized_parents (module Bfs_tree) sg));
+    prop ~count:15 "snapshot = naive walks (stabilized spt trees)" (gen_graph 2 16)
+      (fun sg -> check_all_pairs (stabilized_parents (module Spt_tree) sg));
+    prop ~count:15 "snapshot = naive walks (stabilized adhoc-bfs trees)"
+      (gen_graph 2 16)
+      (fun sg -> check_all_pairs (stabilized_parents (module Adhoc_tree) sg));
+    (* Degraded commits: arbitrary links — out of range, self-loops,
+       parent cycles — must answer exactly like the bounded chase. *)
+    prop ~count:60 "snapshot = naive walks (arbitrary parent arrays)"
+      QCheck2.Gen.(
+        let* n = int_range 1 18 in
+        list_repeat n (int_range (-2) (n + 1)))
+      (fun l -> check_all_pairs (Array.of_list l));
+  ]
+
+(* Double-buffering contract: no reads before the first commit; each
+   commit replaces the served tree wholesale, including across node
+   counts (grow and shrink reuse the same store). *)
+let test_commit_replaces () =
+  let snap = Snapshot.create () in
+  Alcotest.(check bool) "not ready before any commit" false (Snapshot.ready snap);
+  let p1 = [| -1; 0; 1; 2 |] in
+  Snapshot.commit snap p1;
+  Alcotest.(check bool) "ready after commit" true (Snapshot.ready snap);
+  Alcotest.(check bool) "serves p1" true (check_all_pairs p1 = true);
+  Alcotest.(check int) "p1 depth" 3 (Snapshot.depth snap 3);
+  (* grow past the initial capacity, then shrink: n tracks the last
+     committed array, answers never mix the two *)
+  let p2 = Array.init 40 (fun v -> v - 1) in
+  Snapshot.commit snap p2;
+  Alcotest.(check int) "n grows" 40 (Snapshot.n snap);
+  Alcotest.(check int) "deep chain" 39 (Snapshot.depth snap 39);
+  let p3 = [| 1; -1 |] in
+  Snapshot.commit snap p3;
+  Alcotest.(check int) "n shrinks" 2 (Snapshot.n snap);
+  Alcotest.(check int) "root moved" 1 (Snapshot.root snap 0);
+  ignore (check_all_pairs p3)
+
+(* ------------------------------------------------------------------ *)
+(* Packed-vs-boxed service equivalence: the tentpole pin. The same
+   episode (graph, trace, daemons, seed) through Service.Make and
+   Service.Make_packed must produce structurally equal reports — every
+   event outcome, every ladder counter, every staleness count. *)
+
+let trace_of s =
+  match Churn.of_string s with Ok t -> t | Error m -> Alcotest.failf "bad trace: %s" m
+
+let episode_pair (type s)
+    (module P : Service.PACKED_TREE_PROTOCOL with type state = s) (sd, g) ~sched
+    ~trace =
+  let module SB = Service.Make (P) in
+  let module SP = Service.Make_packed (P) in
+  let boxed =
+    SB.run ~retry_budget:500 ~max_retries:1 ~queries_per_round:2 g ~sched
+      ~fallback:(Scheduler.Distributed 0.5)
+      (Random.State.make [| sd; 17 |])
+      trace
+  in
+  let packed =
+    SP.run ~retry_budget:500 ~max_retries:1 ~queries_per_round:2 g ~sched
+      ~fallback:(Scheduler.Distributed 0.5)
+      (Random.State.make [| sd; 17 |])
+      trace
+  in
+  if boxed <> packed then
+    QCheck2.Test.fail_reportf
+      "packed/boxed episode divergence under %a on %s: recovered %b/%b rounds %d/%d \
+       steps %d/%d events %d/%d"
+      Scheduler.pp sched (Churn.name trace) boxed.Service.recovered
+      packed.Service.recovered boxed.Service.rounds packed.Service.rounds
+      boxed.Service.steps packed.Service.steps
+      (List.length boxed.Service.events)
+      (List.length packed.Service.events);
+  true
+
+let equiv_traces = [ "flash-crowd:2"; "regional:2"; "maintenance:2@every:2" ]
+
+let equiv_scheds =
+  [ Scheduler.Synchronous; Scheduler.Central Scheduler.Random_daemon ]
+
+let episode_roster (type s)
+    (module P : Service.PACKED_TREE_PROTOCOL with type state = s) sg =
+  List.for_all
+    (fun t ->
+      List.for_all
+        (fun sched -> episode_pair (module P) sg ~sched ~trace:(trace_of t))
+        equiv_scheds)
+    equiv_traces
+
+let equiv_props =
+  [
+    prop ~count:8 "bfs: packed episode = boxed episode" (gen_graph 4 14)
+      (episode_roster (module Bfs_tree));
+    prop ~count:6 "spt: packed episode = boxed episode" (gen_graph 4 12)
+      (episode_roster (module Spt_tree));
+    prop ~count:6 "adhoc-bfs: packed episode = boxed episode" (gen_graph 4 12)
+      (episode_roster (module Adhoc_tree));
+  ]
+
+let test_packed_rejects_loop_free () =
+  let module Bad = struct
+    include Bfs_builder.Packed
+
+    let parent_of (s : St_layer.t) = s.St_layer.parent
+    let loop_free = true
+  end in
+  match
+    let module M = Service.Make_packed (Bad) in
+    ignore M.run;
+    `No_raise
+  with
+  | `No_raise -> Alcotest.fail "Make_packed accepted a loop-free builder"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The E13 mdst known failure, minimized (see EXPERIMENTS.md E13):
+   the builder's veto-block — a node remembers a vetoed witness edge
+   and refuses to re-adopt it until its own degree changes — breaks
+   cross-epoch re-marking livelock, but at silence no degree ever
+   changes, so a block held by a bad max-degree node is permanent. The
+   builder then settles silent on a valid spanning tree that is NOT an
+   FR-tree (the sequential marking closure still finds an applicable
+   improvement), failing the is_legal certificate. The paper's degree
+   bound itself still holds here: the settled tree has degree
+   Δmin + 1. *)
+
+let mdst_silent_illegal rng ~n ~m =
+  let module En = Engine.Make (Mdst_builder.P) in
+  let g = Generators.random_connected rng ~n ~m in
+  let init = En.adversarial rng g in
+  let r =
+    En.run ~max_steps:2_000_000 ~max_rounds:20_000 ~track_legal:true g
+      (Scheduler.Central Scheduler.Random_daemon)
+      rng ~init
+  in
+  (g, r.En.silent, r.En.legal, r.En.states)
+
+let check_known_failure what g silent legal states ~exact_mindeg =
+  Alcotest.(check bool) (what ^ ": silent") true silent;
+  Alcotest.(check bool) (what ^ ": illegal") false legal;
+  let parent = Array.map (fun s -> s.Mdst_builder.st.St_layer.parent) states in
+  Alcotest.(check bool) (what ^ ": still a spanning tree rooted at 0") true
+    (Tree.check_parents ~root:0 parent);
+  let t = Tree.of_parents ~root:0 parent in
+  Alcotest.(check bool) (what ^ ": not an FR-tree (no witness marking)") true
+    (Min_degree.find_marking g t = None);
+  Alcotest.(check bool) (what ^ ": an improvement is still applicable") true
+    (Min_degree.improve_once g t <> None);
+  Alcotest.(check bool) (what ^ ": a bad node holds a permanent veto-block") true
+    (Array.exists
+       (fun s -> s.Mdst_builder.blocked <> None && not s.Mdst_builder.good)
+       states);
+  match exact_mindeg with
+  | None -> ()
+  | Some d ->
+      Alcotest.(check int) (what ^ ": degree bound still met (Δmin + 1)") (d + 1)
+        (Tree.max_degree t)
+
+let test_mdst_known_failure_minimized () =
+  let rng = Random.State.make [| 0xA11; 6; 1 |] in
+  let g, silent, legal, states = mdst_silent_illegal rng ~n:6 ~m:12 in
+  check_known_failure "n=6" g silent legal states
+    ~exact_mindeg:(Some (Min_degree.exact g))
+
+(* The original E13 cell verbatim: the serve matrix's RNG derivation
+   for (mdst, flash-crowd:2@silence, random, seed 2) at n=16 — the cell
+   `repro_cli serve --n 16 --seeds 2 --algos mdst` reports as
+   silent-but-illegal. Base stabilization only; churn never fires. *)
+let test_mdst_known_failure_e13_cell () =
+  let rng =
+    Random.State.make
+      [| 1; Hashtbl.hash ("mdst", "flash-crowd:2@silence", "random"); 16; 2 |]
+  in
+  let gen = Option.get (Generators.by_name "gnp") in
+  let g = gen rng ~n:16 in
+  let _ops = Churn.expand rng g (Churn.Flash_crowd 2) in
+  let module En = Engine.Make (Mdst_builder.P) in
+  let init = En.adversarial rng g in
+  let r =
+    En.run ~max_steps:2_000_000 ~max_rounds:20_000 ~track_legal:true g
+      (Scheduler.Central Scheduler.Random_daemon)
+      rng ~init
+  in
+  check_known_failure "E13 cell" g r.En.silent r.En.legal r.En.states
+    ~exact_mindeg:None
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  QCheck_base_runner.set_seed 20260704;
+  Alcotest.run "serve"
+    [
+      ("snapshot", snapshot_props);
+      ( "snapshot-unit",
+        [ Alcotest.test_case "commits replace wholesale" `Quick test_commit_replaces ] );
+      ("service-equiv", equiv_props);
+      ( "service-unit",
+        [
+          Alcotest.test_case "Make_packed rejects loop-free builders" `Quick
+            test_packed_rejects_loop_free;
+        ] );
+      ( "mdst-known-failure",
+        [
+          Alcotest.test_case "minimized: veto-block deadlock at n=6" `Quick
+            test_mdst_known_failure_minimized;
+          Alcotest.test_case "the E13 cell (n=16, seed 2)" `Quick
+            test_mdst_known_failure_e13_cell;
+        ] );
+    ]
